@@ -1,0 +1,82 @@
+"""Figure 5 — the number of critical tokens varies widely across heads.
+
+The paper samples heads of Llama-3-8B-Instruct-262k on the ∞-Bench KV
+retrieval task and plots (red) how many tokens each head needs to reach a 90%
+recovery ratio, against (blue) how many tokens a DIPR query with a fixed beta
+selects for the same head.  The reproduction generates a Retr.KV-style
+workload whose heads are planted with log-uniformly varying critical-token
+counts and prints both series per (layer, head); the DIPR count should track
+the 90%-recovery count across orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit, run_once
+from repro.analysis.recovery import head_recovery_profile
+from repro.analysis.reporting import format_table
+from repro.query.types import beta_from_alpha
+from repro.workloads.generator import ScoringMode, WorkloadSpec, generate_workload
+
+EXPERIMENT = "Figure 5: critical tokens per head"
+
+
+def _build_profiles():
+    spec = WorkloadSpec(
+        name="fig5",
+        context_length=8192,
+        num_layers=2,
+        num_query_heads=16,
+        num_kv_heads=8,
+        head_dim=32,
+        num_decode_steps=4,
+        num_evidence_tokens=2,
+        critical_fraction_low=0.0008,
+        critical_fraction_high=0.25,
+        scoring=ScoringMode.NEEDLE,
+        seed=55,
+    )
+    workload = generate_workload(spec)
+    beta = beta_from_alpha(0.012, spec.head_dim)
+    profiles = head_recovery_profile(workload, beta=beta, recovery_target=0.9)
+    return workload, beta, profiles
+
+
+def test_fig5_critical_tokens_per_head(benchmark):
+    workload, beta, profiles = run_once(benchmark, _build_profiles)
+
+    rows = []
+    ratios = []
+    for index, profile in enumerate(profiles):
+        ratio = profile.dipr_selected / max(profile.tokens_for_90pct, 1.0)
+        ratios.append(ratio)
+        rows.append(
+            [
+                f"L{profile.layer}H{profile.kv_head}",
+                profile.planted_critical,
+                round(profile.tokens_for_90pct, 1),
+                round(profile.dipr_selected, 1),
+                round(ratio, 2),
+            ]
+        )
+    recovery_counts = np.asarray([p.tokens_for_90pct for p in profiles])
+    spread = recovery_counts.max() / max(recovery_counts.min(), 1.0)
+
+    table = format_table(
+        ["head", "planted critical", "tokens for 90% recovery", f"DIPR(beta={beta:.1f}) selected", "DIPR / 90%"],
+        rows,
+        title=(
+            "Paper: per-head token requirements vary by orders of magnitude (53 .. 43K) and "
+            "DIPR with one global beta tracks them; full attention needs the whole context."
+        ),
+    )
+    table += (
+        f"\nSpread of per-head 90%-recovery counts: {spread:.1f}x "
+        f"(paper observes ~800x between extreme heads on the real model)"
+    )
+    emit(EXPERIMENT, table)
+
+    # the headline claims: heads differ widely, and DIPR adapts to each head
+    assert spread > 10.0
+    assert 0.2 < float(np.median(ratios)) < 5.0

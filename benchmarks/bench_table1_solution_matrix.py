@@ -1,0 +1,170 @@
+"""Table 1 — qualitative comparison of the LLM-inference solution categories.
+
+The paper positions the three existing categories (coupled architecture, KV
+cache disaggregation, retrieval-based sparse attention) against AlayaDB on
+GPU memory consumption, inference latency and generation quality.  The
+reproduction derives the same qualitative matrix from *measured* quantities:
+the En.QA workload for quality, the calibrated cost model for decode latency
+and the modelled resident KV for memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.baselines import (
+    AlayaDBTTFTModel,
+    DIPRSStrategy,
+    FullAttentionStrategy,
+    LMCacheStore,
+    TopKRetrievalStrategy,
+)
+from repro.index.builder import ContextIndexBuilder, IndexBuildConfig
+from repro.query.types import beta_from_alpha
+from repro.simulator.cost_model import CostModel
+from repro.simulator.device import GIB
+from repro.simulator.slo import SLO
+from repro.workloads.evaluation import evaluate_strategy
+from repro.workloads.generator import generate_workload
+from repro.workloads.infinite_bench import infinite_bench_task
+
+EXPERIMENT = "Table 1: solution category matrix"
+
+PAPER_CONTEXT = 150_000
+
+
+def _measure_matrix():
+    cost = CostModel()
+    slo = SLO()
+    # quality is averaged over one sparse task (En.QA) and one token-hungry
+    # task (En.Sum with a dense critical structure): the static top-k of
+    # category (3) loses exactly there, which is the paper's argument for its
+    # "Medium/Bad" quality cell.
+    builder = ContextIndexBuilder(IndexBuildConfig())
+    workloads = []
+    for task_name, overrides in (
+        ("En.QA", {}),
+        ("En.Sum", {"critical_fraction_low": 0.08, "critical_fraction_high": 0.15}),
+    ):
+        spec = infinite_bench_task(task_name, context_length=4096, num_decode_steps=3, **overrides)
+        workload = generate_workload(spec)
+        workload.context.fine_indexes, _ = builder.build_context(
+            workload.context.snapshot.keys, workload.context.query_samples
+        )
+        workloads.append(workload)
+    head_dim = workloads[0].spec.head_dim
+    beta = beta_from_alpha(0.012, head_dim)
+
+    def mean_eval(make_strategy):
+        evaluations = [evaluate_strategy(make_strategy(), workload) for workload in workloads]
+        primary = evaluations[0]
+        primary.quality = float(np.mean([e.quality for e in evaluations]))
+        return primary
+
+    full = mean_eval(FullAttentionStrategy)
+    topk = mean_eval(
+        lambda: TopKRetrievalStrategy(k=100, initial_tokens=128, recent_tokens=512, reuse_context_indexes=True)
+    )
+    diprs = mean_eval(
+        lambda: DIPRSStrategy(
+            beta=beta, capacity_threshold=384, initial_tokens=128, recent_tokens=512, reuse_context_indexes=True
+        )
+    )
+
+    kv_gib = PAPER_CONTEXT * cost.shape.kv_bytes_per_token / GIB
+
+    def categorise_memory(gib: float) -> str:
+        return "Large" if gib > 5 else "Small"
+
+    def categorise_latency(seconds: float) -> str:
+        if seconds > slo.tpot_seconds:
+            return "High"
+        return "Low" if seconds < slo.tpot_seconds / 2 else "Medium"
+
+    def categorise_quality(quality: float) -> str:
+        return "Good" if quality > 80 else ("Medium" if quality > 50 else "Bad")
+
+    coupled_latency = cost.full_decode_seconds(PAPER_CONTEXT)
+    disaggregated_ttft = LMCacheStore(cost).ttft_for_length(PAPER_CONTEXT).total_seconds
+    retrieval_latency = topk.modeled_tpot_seconds(cost)
+    alayadb_latency = diprs.modeled_tpot_seconds(cost)
+    alayadb_ttft = AlayaDBTTFTModel(cost).ttft_for_length(PAPER_CONTEXT).total_seconds
+
+    matrix = {
+        "(1) Coupled architecture": {
+            "memory_gib": kv_gib,
+            "latency_s": coupled_latency,
+            "quality": full.quality,
+            "usability": "Good",
+        },
+        "(2) KV cache disaggregation": {
+            "memory_gib": kv_gib,
+            "latency_s": coupled_latency,  # decode is identical; TTFT improves via reuse
+            "quality": full.quality,
+            "usability": "Medium",
+            "ttft_s": disaggregated_ttft,
+        },
+        "(3) Retrieval-based sparse attention": {
+            "memory_gib": topk.gpu_memory_bytes(cost, include_weights=False) / GIB,
+            "latency_s": retrieval_latency,
+            "quality": topk.quality,
+            "usability": "Bad",
+        },
+        "AlayaDB": {
+            "memory_gib": diprs.gpu_memory_bytes(cost, include_weights=False) / GIB,
+            "latency_s": alayadb_latency,
+            "quality": diprs.quality,
+            "usability": "Good",
+            "ttft_s": alayadb_ttft,
+        },
+    }
+    categories = {
+        name: {
+            "memory": categorise_memory(row["memory_gib"]),
+            "latency": categorise_latency(row["latency_s"]),
+            "quality": categorise_quality(row["quality"]),
+            "usability": row["usability"],
+        }
+        for name, row in matrix.items()
+    }
+    return matrix, categories
+
+
+def test_table1_solution_matrix(benchmark):
+    matrix, categories = run_once(benchmark, _measure_matrix)
+
+    rows = []
+    for name, raw in matrix.items():
+        cat = categories[name]
+        rows.append(
+            [
+                name,
+                f"{cat['memory']} ({raw['memory_gib']:.1f} GiB KV)",
+                f"{cat['latency']} ({raw['latency_s'] * 1000:.0f} ms/token)",
+                f"{cat['quality']} ({raw['quality']:.0f})",
+                cat["usability"],
+            ]
+        )
+    table = format_table(
+        ["solution", "GPU memory", "decode latency", "generation quality", "usability"],
+        rows,
+        title="Paper Table 1: only AlayaDB achieves Small memory, Low latency and Good quality simultaneously.",
+    )
+    emit(EXPERIMENT, table)
+
+    # the qualitative claims of Table 1
+    assert categories["(1) Coupled architecture"]["memory"] == "Large"
+    assert categories["(2) KV cache disaggregation"]["memory"] == "Large"
+    assert categories["(3) Retrieval-based sparse attention"]["memory"] == "Small"
+    assert categories["AlayaDB"]["memory"] == "Small"
+    assert categories["AlayaDB"]["latency"] == "Low"
+    assert categories["AlayaDB"]["quality"] == "Good"
+    # AlayaDB is the only row that is Small + Low + Good at once
+    winners = [
+        name
+        for name, cat in categories.items()
+        if cat["memory"] == "Small" and cat["latency"] == "Low" and cat["quality"] == "Good"
+    ]
+    assert winners == ["AlayaDB"]

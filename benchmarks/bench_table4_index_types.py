@@ -1,0 +1,110 @@
+"""Table 4 — characteristics of the three index types.
+
+The paper summarises the coarse, fine and flat index families: which query
+types they support, how much (GPU) memory they need resident, and how their
+retrieval latency behaves for small vs large k.  The reproduction builds all
+three over the same key set and measures the actual numbers, checking the
+qualitative orderings of the table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.common import emit, run_once
+from repro.analysis.reporting import format_table
+from repro.index.coarse import CoarseBlockIndex
+from repro.index.flat import FlatIndex
+from repro.index.roargraph import RoarGraphIndex
+from repro.query.topk import graph_topk_search
+
+EXPERIMENT = "Table 4: index type characteristics"
+
+NUM_KEYS = 8192
+HEAD_DIM = 32
+SMALL_K = 16
+LARGE_K = 1024
+NUM_QUERIES = 10
+
+
+def _measure_index_types():
+    rng = np.random.default_rng(0)
+    keys = rng.normal(size=(NUM_KEYS, HEAD_DIM)).astype(np.float32)
+    query_sample = rng.normal(size=(2048, HEAD_DIM)).astype(np.float32) + 0.4
+    queries = rng.normal(size=(NUM_QUERIES, HEAD_DIM)).astype(np.float32) + 0.4
+
+    coarse = CoarseBlockIndex(block_size=128)
+    coarse.build(keys)
+    fine = RoarGraphIndex()
+    fine.build(keys, query_sample=query_sample)
+    flat = FlatIndex()
+    flat.build(keys)
+
+    def timed(func):
+        start = time.perf_counter()
+        for query in queries:
+            func(query)
+        return (time.perf_counter() - start) / NUM_QUERIES * 1000
+
+    results = {
+        "Coarse": {
+            "supported": "Top-k, Filter",
+            "resident_bytes": coarse.memory_bytes,
+            "small_k_ms": timed(lambda q: coarse.search_topk(q, SMALL_K)),
+            "large_k_ms": timed(lambda q: coarse.search_topk(q, LARGE_K)),
+        },
+        "Fine": {
+            "supported": "Top-k, Filter, DIPR",
+            # only the graph structure must stay resident; vectors stream from CPU/disk
+            "resident_bytes": fine.graph.memory_bytes,
+            "small_k_ms": timed(
+                lambda q: graph_topk_search(fine.vectors, fine.graph, q, SMALL_K, [fine.entry_point])
+            ),
+            "large_k_ms": timed(
+                lambda q: graph_topk_search(fine.vectors, fine.graph, q, LARGE_K, [fine.entry_point])
+            ),
+        },
+        "Flat": {
+            "supported": "Top-k, Filter, DIPR",
+            "resident_bytes": 0,
+            "small_k_ms": timed(lambda q: flat.search_topk(q, SMALL_K)),
+            "large_k_ms": timed(lambda q: flat.search_topk(q, LARGE_K)),
+        },
+    }
+    return results
+
+
+def test_table4_index_types(benchmark):
+    results = run_once(benchmark, _measure_index_types)
+
+    rows = []
+    for name, row in results.items():
+        rows.append(
+            [
+                name,
+                row["supported"],
+                round(row["resident_bytes"] / 2**20, 2),
+                round(row["small_k_ms"], 2),
+                round(row["large_k_ms"], 2),
+            ]
+        )
+    table = format_table(
+        ["index type", "supported queries", "resident memory (MiB)", f"latency k={SMALL_K} (ms)", f"latency k={LARGE_K} (ms)"],
+        rows,
+        title=(
+            "Paper Table 4: coarse = large memory / low latency; fine = small memory, fast at small k but slow at "
+            "large k; flat = no resident structure, sequential scans win at large k."
+        ),
+    )
+    emit(EXPERIMENT, table)
+
+    coarse, fine, flat = results["Coarse"], results["Fine"], results["Flat"]
+    # the coarse index keeps all token blocks resident -> largest memory
+    assert coarse["resident_bytes"] > fine["resident_bytes"] > flat["resident_bytes"]
+    # fine-grained search degrades as k grows; the flat scan degrades much less
+    assert fine["large_k_ms"] > fine["small_k_ms"] * 3
+    assert flat["large_k_ms"] < flat["small_k_ms"] * 3
+    # at large k the flat scan is at least competitive with the graph index
+    assert flat["large_k_ms"] < fine["large_k_ms"]

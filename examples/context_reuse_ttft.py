@@ -1,0 +1,83 @@
+"""Comparing context-reuse strategies: AlayaDB vs LMCache vs recomputation.
+
+This example reproduces the Figure 10 experiment interactively: it stores one
+long context three ways — not at all (recompute the prefill), as a compressed
+KV blob (LMCache-style disaggregation), and as an AlayaDB context with vector
+indexes — then reports the time-to-first-token for each and the memory each
+keeps on the GPU.  Latencies at Llama-3-8B scale come from the calibrated cost
+model; the small-scale mechanics (compression, decompression, index search)
+are executed for real.
+
+Run with:  python examples/context_reuse_ttft.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DB, AlayaDBConfig
+from repro.baselines import AlayaDBTTFTModel, LMCacheStore, NoReusePrefill
+from repro.kvcache import snapshot_from_cache, DynamicCache
+from repro.llm import ModelConfig, TransformerModel
+from repro.simulator import CostModel, GIB
+
+
+def main() -> None:
+    model = TransformerModel(ModelConfig.tiny(seed=31))
+    db = DB(AlayaDBConfig(window_initial_tokens=32, window_last_tokens=64, short_context_threshold=128,
+                          gpu_memory_budget_bytes=1))
+    cost = CostModel()
+
+    document = "A very long shared context that many requests will reuse. " * 60
+
+    # --- store the context three ways ----------------------------------------
+    print("=== storing the context ===")
+    tokens = db._tokenize(document)
+
+    start = time.perf_counter()
+    cache = DynamicCache()
+    model.prefill(tokens, cache)
+    prefill_seconds = time.perf_counter() - start
+    print(f"prefill of {len(tokens)} tokens on the toy substrate: {prefill_seconds:.2f}s")
+
+    lmcache = LMCacheStore(cost)
+    snapshot = snapshot_from_cache(tokens, cache)
+    stored_bytes = lmcache.store("doc", snapshot)
+    print(f"LMCache stores {stored_bytes / 1e6:.1f} MB compressed "
+          f"(raw {snapshot.nbytes / 1e6:.1f} MB)")
+
+    start = time.perf_counter()
+    context = db.prefill_and_import(model, document, context_id="doc")
+    print(f"AlayaDB imports + indexes the context in {time.perf_counter() - start:.2f}s "
+          f"({context.index_bytes / 1e6:.1f} MB of indexes, kept on CPU)")
+
+    # --- TTFT at paper scale ---------------------------------------------------
+    print("\n=== modelled TTFT at Llama-3-8B scale ===")
+    print(f"{'context':>10s} | {'recompute':>10s} | {'LMCache':>10s} | {'AlayaDB':>10s}")
+    for length in (40_000, 120_000, 200_000):
+        no_reuse = NoReusePrefill(cost).ttft_for_length(length).total_seconds
+        lm = LMCacheStore(cost).ttft_for_length(length).total_seconds
+        alaya = AlayaDBTTFTModel(cost).ttft_for_length(length).total_seconds
+        print(f"{length:>9d}  | {no_reuse:>9.1f}s | {lm:>9.2f}s | {alaya:>9.3f}s")
+
+    # --- what actually sits on the GPU -----------------------------------------
+    print("\n=== GPU residency at 200K tokens (modelled) ===")
+    kv_bytes = 200_000 * cost.shape.kv_bytes_per_token
+    print(f"coupled / disaggregated architectures keep the full KV cache: {kv_bytes / GIB:.1f} GiB")
+    window_tokens = 128 + 512
+    window_bytes = window_tokens * cost.shape.kv_bytes_per_token
+    print(f"AlayaDB keeps the [128+512] window plus per-step critical tokens: "
+          f"{window_bytes / GIB:.3f} GiB resident")
+
+    # --- and the real mechanics at toy scale ------------------------------------
+    print("\n=== real mechanics at toy scale ===")
+    keys, values, load_seconds = lmcache.load("doc")
+    print(f"LMCache decompression of the stored blob (modelled load {load_seconds:.3f}s) "
+          f"recovers {sum(k.nbytes for k in keys.values()) / 1e6:.1f} MB of KV")
+    session, truncated = db.create_session(document + " What does it say?")
+    print(f"AlayaDB session reuses {session.reused_prefix_length} tokens without moving any KV; "
+          f"{len(truncated)} prompt tokens remain to prefill")
+
+
+if __name__ == "__main__":
+    main()

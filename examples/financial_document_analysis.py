@@ -1,0 +1,117 @@
+"""Use case 1 (Section 8): financial document analysis.
+
+A financial-analysis service keeps a library of long documents (annual
+reports, audit reports, filings).  Analysts ask many different questions about
+the same documents, so AlayaDB imports each document once, builds its vector
+indexes offline, and serves every follow-up question by reusing the stored
+context — only the question itself is prefilled.
+
+The example measures what the service cares about:
+* time-to-first-token with and without context reuse,
+* how many critical tokens per head each question actually needed (the DIPR
+  query adapts this per question), and
+* the GPU-resident footprint per concurrent session.
+
+Run with:  python examples/financial_document_analysis.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DB, AlayaDBConfig
+from repro.kvcache import DynamicCache
+from repro.llm import GenerationLoop, ModelConfig, TransformerModel
+from repro.simulator import CostModel
+
+
+def build_document_library() -> dict[str, str]:
+    """Synthesise a few 'financial documents' (long repetitive filings)."""
+    sections = {
+        "acme-2024-annual-report": (
+            "ACME Corp annual report 2024. Revenue grew in the cloud segment while hardware "
+            "declined. The board approved a dividend increase and a share buyback programme. "
+        ),
+        "acme-2024-audit": (
+            "Independent audit of ACME Corp 2024 statements. The auditors flag revenue "
+            "recognition in multi-year contracts and recommend tighter controls over "
+            "inventory valuation in the hardware segment. "
+        ),
+        "hk-market-2024-review": (
+            "Hong Kong stock market 2024 review. Technology listings rebounded, IPO volume "
+            "recovered in the second half, and southbound flows supported financials. "
+        ),
+    }
+    return {name: text * 40 for name, text in sections.items()}
+
+
+def main() -> None:
+    model = TransformerModel(ModelConfig.tiny(seed=11))
+    loop = GenerationLoop(model)
+    # max_retrieved_tokens bounds per-head retrieval: the toy substrate's
+    # attention is much less sparse than a trained LLM's, and a production
+    # deployment would cap worst-case retrieval the same way.
+    db = DB(
+        AlayaDBConfig(
+            window_initial_tokens=32,
+            window_last_tokens=64,
+            short_context_threshold=128,
+            gpu_memory_budget_bytes=1,
+            max_retrieved_tokens=512,
+        )
+    )
+    cost = CostModel()
+
+    # ------------------------------------------------------------------ ingest
+    library = build_document_library()
+    print("=== ingesting the document library (offline) ===")
+    for name, text in library.items():
+        start = time.perf_counter()
+        context = db.prefill_and_import(model, text, context_id=name)
+        print(f"  {name}: {context.num_tokens} tokens, indexes for {len(context.fine_indexes)} layers "
+              f"({time.perf_counter() - start:.1f}s)")
+
+    # ------------------------------------------------------------------ serve
+    questions = [
+        ("acme-2024-annual-report", "Summarise the revenue trend by segment."),
+        ("acme-2024-annual-report", "What did the board approve?"),
+        ("acme-2024-audit", "List the audit findings that need management action."),
+        ("hk-market-2024-review", "What were the top drivers of the 2024 Hong Kong market?"),
+    ]
+    print("\n=== answering analyst questions (online) ===")
+    for document_name, question in questions:
+        prompt = library[document_name] + "\nAnalyst question: " + question
+
+        reuse_start = time.perf_counter()
+        session, truncated = db.create_session(prompt)
+        result = loop.run_tokens(truncated, cache=session, max_new_tokens=6)
+        reuse_seconds = time.perf_counter() - reuse_start
+
+        print(f"- [{document_name}] {question}")
+        print(f"    reused {session.reused_prefix_length} tokens, prefilled {len(truncated)}; "
+              f"wall-clock {reuse_seconds:.2f}s on the toy substrate")
+        print(f"    critical tokens/head retrieved: {session.last_decode_stats.mean_selected_per_head:.0f}; "
+              f"GPU-resident: {session.gpu_memory_bytes() / 1e6:.2f} MB")
+        # what this would cost at production scale (Llama-3-8B, paper's cost model)
+        per_head_distance = int(
+            session.last_decode_stats.num_distance_computations
+            / max(session.last_decode_stats.num_heads, 1)
+        )
+        modeled_tpot = cost.sparse_decode_seconds(
+            num_selected_tokens=min(int(session.last_decode_stats.mean_selected_per_head), 640) + 640,
+            num_distance_computations=min(per_head_distance, 4000),
+        )
+        print(f"    modelled TPOT at Llama-3-8B scale: {modeled_tpot * 1000:.0f} ms "
+              f"(SLO 240 ms: {'met' if modeled_tpot <= 0.24 else 'VIOLATED'})")
+
+    # ------------------------------------------------------- no-reuse baseline
+    document_name, question = questions[0]
+    prompt = library[document_name] + "\nAnalyst question: " + question
+    start = time.perf_counter()
+    loop.run_tokens(db._tokenize(prompt), cache=DynamicCache(), max_new_tokens=6)
+    print(f"\nrecomputing the full prefill instead of reusing takes {time.perf_counter() - start:.2f}s "
+          f"on the toy substrate (and O(n^2) at production scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so editable installs work on environments without the
+``wheel`` package (legacy ``setup.py develop`` path)."""
+
+from setuptools import setup
+
+setup()

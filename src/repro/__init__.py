@@ -1,0 +1,35 @@
+"""repro — a reproduction of AlayaDB (SIGMOD 2025).
+
+AlayaDB decouples the KV cache and the attention computation from the LLM
+inference engine and encapsulates both in a vector database.  The top-level
+package re-exports the pieces most applications need:
+
+* :class:`repro.core.DB` and :class:`repro.core.Session` — the user interface
+  (Table 2 of the paper),
+* :class:`repro.core.AlayaDBConfig` — serving configuration,
+* :class:`repro.llm.TransformerModel` — the NumPy LLM substrate the examples
+  and benchmarks run against,
+* :mod:`repro.baselines` — the systems AlayaDB is compared with,
+* :mod:`repro.workloads` — synthetic ∞-Bench / LongBench-style tasks.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core.config import AlayaDBConfig
+from .core.db import DB
+from .core.session import Session
+from .errors import ReproError
+from .llm.model import ModelConfig, TransformerModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlayaDBConfig",
+    "DB",
+    "ModelConfig",
+    "ReproError",
+    "Session",
+    "TransformerModel",
+    "__version__",
+]

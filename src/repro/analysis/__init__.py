@@ -1,0 +1,24 @@
+"""Analysis tooling: recovery ratios, critical-token statistics, reporting."""
+
+from .critical_tokens import WindowCoverage, count_critical_tokens, window_max_coverage
+from .recovery import (
+    HeadRecoveryProfile,
+    dipr_selection_count,
+    head_recovery_profile,
+    required_k_for_accuracy,
+)
+from .reporting import format_series, format_table, print_series, print_table
+
+__all__ = [
+    "HeadRecoveryProfile",
+    "WindowCoverage",
+    "count_critical_tokens",
+    "dipr_selection_count",
+    "format_series",
+    "format_table",
+    "head_recovery_profile",
+    "print_series",
+    "print_table",
+    "required_k_for_accuracy",
+    "window_max_coverage",
+]

@@ -1,0 +1,49 @@
+"""Plain-text table/series formatting shared by the benchmark harnesses.
+
+The benchmarks print the same rows and series the paper's tables and figures
+show; these helpers keep that output consistent and readable in a terminal
+(and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render a fixed-width table."""
+    columns = [[str(h)] + [_fmt(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    pairs = ", ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> None:
+    print(format_table(headers, rows, title))
+
+
+def print_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> None:
+    print(format_series(name, xs, ys))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if "." in f"{value:.3f}" else f"{value:.3f}"
+    return str(value)

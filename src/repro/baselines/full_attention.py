@@ -1,0 +1,37 @@
+"""Full-attention baseline: attend to every cached token.
+
+The quality upper bound of the coupled architecture (vLLM / transformers);
+every token's KV stays on the GPU, and the decode latency grows linearly with
+the context length — which is why it fails the TPOT SLO on long contexts in
+Table 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.context_store import StoredContext
+from .base import SelectionOutcome, SelectionStrategy
+
+__all__ = ["FullAttentionStrategy"]
+
+
+class FullAttentionStrategy(SelectionStrategy):
+    """Select every stored position (exact attention)."""
+
+    name = "full"
+
+    def prepare(self, context: StoredContext, num_query_heads: int) -> None:
+        self._context_length = context.num_tokens
+
+    def select(self, layer: int, query_head: int, query: np.ndarray, context_length: int) -> SelectionOutcome:
+        return SelectionOutcome(
+            positions=np.arange(context_length, dtype=np.int64),
+            num_distance_computations=0,
+        )
+
+    def resident_positions(self, context_length: int) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+    def gpu_token_equivalent(self, context_length: int) -> int:
+        return context_length

@@ -1,0 +1,105 @@
+"""KV-cache disaggregation baseline (LMCache / Mooncake style).
+
+The stored context's KV cache lives compressed in CPU memory (or on disk);
+reusing it means *decompressing and transferring the whole thing back to the
+GPU* before decoding can start.  That load time grows linearly with the
+context length and dominates TTFT — the effect Figure 10 of the paper
+measures against AlayaDB, which decodes directly over the offloaded cache and
+never moves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ContextNotFoundError
+from ..kvcache.compression import CompressedKV, compress_kv, decompress_kv
+from ..kvcache.serialization import KVSnapshot
+from ..simulator.cost_model import CostModel
+
+__all__ = ["TTFTBreakdown", "LMCacheStore", "NoReusePrefill"]
+
+
+@dataclass
+class TTFTBreakdown:
+    """TTFT split into its phases (Figure 10(b) of the paper)."""
+
+    load_seconds: float
+    decode_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.load_seconds + self.decode_seconds
+
+
+class LMCacheStore:
+    """A disaggregated KV cache: compressed storage + load-on-reuse."""
+
+    def __init__(self, cost_model: CostModel | None = None, compress: bool = True):
+        self.cost_model = cost_model or CostModel()
+        self.compress = compress
+        self._entries: dict[str, CompressedKV | KVSnapshot] = {}
+        self._num_tokens: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # store / load
+    # ------------------------------------------------------------------
+    def store(self, context_id: str, snapshot: KVSnapshot) -> int:
+        """Store a context's KV cache; returns its stored size in bytes."""
+        snapshot.validate()
+        if self.compress:
+            entry = compress_kv(snapshot.keys, snapshot.values)
+            stored_bytes = entry.nbytes
+        else:
+            entry = snapshot
+            stored_bytes = snapshot.nbytes
+        self._entries[context_id] = entry
+        self._num_tokens[context_id] = snapshot.num_tokens
+        return int(stored_bytes)
+
+    def load(self, context_id: str) -> tuple[dict, dict, float]:
+        """Load a context's KV back: returns (keys, values, modelled load seconds)."""
+        entry = self._entries.get(context_id)
+        if entry is None:
+            raise ContextNotFoundError(f"context {context_id!r} not stored in LMCache")
+        num_tokens = self._num_tokens[context_id]
+        if isinstance(entry, CompressedKV):
+            keys, values = decompress_kv(entry)
+            ratio = entry.nbytes / max(1, num_tokens * self.cost_model.shape.kv_bytes_per_token)
+            seconds = self.cost_model.kv_load_seconds(num_tokens, compressed_ratio=min(ratio, 1.0), decompress=True)
+        else:
+            keys, values = entry.keys, entry.values
+            seconds = self.cost_model.kv_load_seconds(num_tokens, compressed_ratio=1.0, decompress=False)
+        return keys, values, seconds
+
+    def stored_tokens(self, context_id: str) -> int:
+        if context_id not in self._num_tokens:
+            raise ContextNotFoundError(f"context {context_id!r} not stored in LMCache")
+        return self._num_tokens[context_id]
+
+    # ------------------------------------------------------------------
+    # TTFT model (Figure 10)
+    # ------------------------------------------------------------------
+    def ttft(self, context_id: str) -> TTFTBreakdown:
+        """Modelled TTFT of reusing a stored context through the load path."""
+        num_tokens = self.stored_tokens(context_id)
+        load = self.cost_model.kv_load_seconds(num_tokens)
+        decode = self.cost_model.full_decode_seconds(num_tokens)
+        return TTFTBreakdown(load_seconds=load, decode_seconds=decode)
+
+    def ttft_for_length(self, num_tokens: int) -> TTFTBreakdown:
+        """TTFT model without storing anything (pure length sweep)."""
+        load = self.cost_model.kv_load_seconds(num_tokens)
+        decode = self.cost_model.full_decode_seconds(num_tokens)
+        return TTFTBreakdown(load_seconds=load, decode_seconds=decode)
+
+
+class NoReusePrefill:
+    """The no-reuse baseline: recompute the whole prefill every time."""
+
+    def __init__(self, cost_model: CostModel | None = None):
+        self.cost_model = cost_model or CostModel()
+
+    def ttft_for_length(self, num_tokens: int) -> TTFTBreakdown:
+        prefill = self.cost_model.prefill_seconds(num_tokens)
+        return TTFTBreakdown(load_seconds=0.0, decode_seconds=prefill)

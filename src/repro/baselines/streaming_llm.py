@@ -1,0 +1,45 @@
+"""StreamingLLM baseline: attention sinks + a sliding window, nothing else.
+
+Keeps the first ``initial_tokens`` (attention sinks) and the most recent
+``recent_tokens`` on the GPU and simply drops everything in between.  Very
+fast and very small, but retrieval-style tasks collapse because the evidence
+tokens in the middle of the context are never attended — the behaviour
+Table 5 of the paper shows (near-zero scores on Retr.* tasks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.context_store import StoredContext
+from .base import SelectionOutcome, SelectionStrategy
+
+__all__ = ["StreamingLLMStrategy"]
+
+
+class StreamingLLMStrategy(SelectionStrategy):
+    """Window-only attention (no retrieval of middle tokens)."""
+
+    name = "streaming_llm"
+
+    def __init__(self, initial_tokens: int = 128, recent_tokens: int = 8192):
+        self.initial_tokens = initial_tokens
+        self.recent_tokens = recent_tokens
+
+    def prepare(self, context: StoredContext, num_query_heads: int) -> None:
+        return None
+
+    def _window(self, context_length: int) -> np.ndarray:
+        initial = np.arange(0, min(self.initial_tokens, context_length), dtype=np.int64)
+        recent_start = max(0, context_length - self.recent_tokens)
+        recent = np.arange(recent_start, context_length, dtype=np.int64)
+        return np.unique(np.concatenate([initial, recent]))
+
+    def select(self, layer: int, query_head: int, query: np.ndarray, context_length: int) -> SelectionOutcome:
+        return SelectionOutcome(positions=np.empty(0, dtype=np.int64), num_distance_computations=0)
+
+    def resident_positions(self, context_length: int) -> np.ndarray:
+        return self._window(context_length)
+
+    def gpu_token_equivalent(self, context_length: int) -> int:
+        return int(self._window(context_length).shape[0])

@@ -1,0 +1,131 @@
+"""Data-centric attention engine (Section 7.2 of the paper).
+
+Instead of gathering every retrieved key/value onto one device and running a
+single kernel, AlayaDB computes *partial attention where the data lives* —
+one partial over the GPU-resident window, one over the CPU-resident retrieved
+tokens — and merges the partials with the exact flash-attention
+decomposition.  Only the per-partial outputs and their log-sum-exp statistics
+cross devices, never the KV tensors themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..llm.attention import PartialAttention, merge_partial_attention, partial_attention
+
+__all__ = ["AttentionBreakdown", "DataCentricAttentionEngine"]
+
+
+@dataclass
+class AttentionBreakdown:
+    """Where the tokens that contributed to one head's output came from."""
+
+    num_window_tokens: int = 0
+    num_retrieved_tokens: int = 0
+    num_local_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.num_window_tokens + self.num_retrieved_tokens + self.num_local_tokens
+
+
+class DataCentricAttentionEngine:
+    """Computes sparse attention outputs by merging per-location partials."""
+
+    def __init__(self, scale: float | None = None):
+        self.scale = scale
+
+    def head_output(
+        self,
+        query: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        window_positions: np.ndarray,
+        retrieved_positions: np.ndarray,
+        local_keys: np.ndarray | None = None,
+        local_values: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, AttentionBreakdown]:
+        """Sparse attention output for one query head.
+
+        Parameters
+        ----------
+        query:
+            ``(head_dim,)`` query vector of this head.
+        keys / values:
+            ``(n, head_dim)`` KV of the head's KV group within the stored
+            context (conceptually CPU/disk resident).
+        window_positions:
+            Positions kept in the GPU window cache.
+        retrieved_positions:
+            Positions selected by the retrieval plan (deduplicated against the
+            window inside this method).
+        local_keys / local_values:
+            ``(m, head_dim)`` KV of tokens generated in this session that have
+            not been materialised into the index yet (always attended).
+        """
+        query = np.asarray(query, dtype=np.float32)
+        head_dim = query.shape[0]
+        query2 = query[None, :]
+
+        window_positions = np.asarray(window_positions, dtype=np.int64)
+        retrieved_positions = np.asarray(retrieved_positions, dtype=np.int64)
+        if window_positions.size and retrieved_positions.size:
+            retrieved_positions = np.setdiff1d(retrieved_positions, window_positions, assume_unique=False)
+
+        partials: list[PartialAttention] = []
+        breakdown = AttentionBreakdown()
+
+        if window_positions.size:
+            partials.append(
+                partial_attention(
+                    query2,
+                    keys[None, window_positions, :],
+                    values[None, window_positions, :],
+                    scale=self.scale,
+                )
+            )
+            breakdown.num_window_tokens = int(window_positions.size)
+        if retrieved_positions.size:
+            partials.append(
+                partial_attention(
+                    query2,
+                    keys[None, retrieved_positions, :],
+                    values[None, retrieved_positions, :],
+                    scale=self.scale,
+                )
+            )
+            breakdown.num_retrieved_tokens = int(retrieved_positions.size)
+        if local_keys is not None and local_keys.shape[0] > 0:
+            partials.append(
+                partial_attention(query2, local_keys[None, :, :], local_values[None, :, :], scale=self.scale)
+            )
+            breakdown.num_local_tokens = int(local_keys.shape[0])
+
+        if not partials:
+            return np.zeros(head_dim, dtype=np.float32), breakdown
+        merged = merge_partial_attention(partials)
+        return merged[0], breakdown
+
+    def full_output(
+        self,
+        query: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        local_keys: np.ndarray | None = None,
+        local_values: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Exact (full) attention for one head, still computed data-centrically."""
+        positions = np.arange(keys.shape[0], dtype=np.int64)
+        output, _ = self.head_output(
+            query,
+            keys,
+            values,
+            window_positions=positions,
+            retrieved_positions=np.empty(0, dtype=np.int64),
+            local_keys=local_keys,
+            local_values=local_values,
+        )
+        return output

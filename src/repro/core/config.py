@@ -1,0 +1,88 @@
+"""Configuration of the AlayaDB core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..index.builder import IndexBuildConfig
+from ..simulator.device import GIB
+from ..simulator.slo import SLO
+
+__all__ = ["AlayaDBConfig"]
+
+
+@dataclass(frozen=True)
+class AlayaDBConfig:
+    """Tunables of the database (user interface → storage engine).
+
+    The defaults mirror the paper's evaluation setup: a [128 initial + 512
+    last] token window kept on the GPU, DIPR with ``beta = 50`` (scaled to the
+    substrate's head dimension at session creation when
+    ``scale_beta_to_head_dim`` is set), and the rule-based optimizer's
+    thresholds.
+    """
+
+    # window cache (Section 7.1)
+    window_initial_tokens: int = 128
+    window_last_tokens: int = 512
+
+    # DIPR defaults (Section 6.1)
+    dipr_beta: float = 50.0
+    dipr_capacity_threshold: int = 128
+    scale_beta_to_head_dim: bool = True
+    reference_head_dim: int = 128
+    """Head dimension the default ``dipr_beta`` was calibrated for (Llama-3)."""
+
+    # top-k defaults (used when the optimizer picks the coarse index)
+    topk_k: int = 100
+    coarse_block_size: int = 128
+    coarse_num_blocks: int = 32
+
+    # optimizer thresholds (Figure 8)
+    short_context_threshold: int = 1024
+    """Contexts at or below this length are served with full attention."""
+    gpu_memory_budget_bytes: int = 16 * GIB
+    """Budget available for cached KV blocks; "high" budgets route to the
+    coarse index, "low" budgets to DIPR."""
+    flat_index_layers: tuple[int, ...] = (0,)
+    """Layers whose DIPR queries go to the flat index (the first layer needs
+    a large number of critical tokens, see Figure 5)."""
+
+    # context reuse
+    min_reuse_tokens: int = 16
+    """Minimum common-prefix length worth reusing; shorter matches (e.g. just
+    a shared BOS token) are ignored and the prompt is prefilled from scratch."""
+
+    # retrieval safety valve
+    max_retrieved_tokens: int | None = None
+
+    # index construction
+    index_build: IndexBuildConfig = field(default_factory=IndexBuildConfig)
+
+    # serving SLO
+    slo: SLO = field(default_factory=SLO)
+
+    def __post_init__(self) -> None:
+        if self.window_initial_tokens < 0 or self.window_last_tokens < 0:
+            raise ConfigError("window sizes must be non-negative")
+        if self.dipr_beta < 0:
+            raise ConfigError(f"dipr_beta must be non-negative, got {self.dipr_beta}")
+        if self.topk_k <= 0:
+            raise ConfigError(f"topk_k must be positive, got {self.topk_k}")
+        if self.short_context_threshold < 0:
+            raise ConfigError("short_context_threshold must be non-negative")
+
+    @property
+    def window_total_tokens(self) -> int:
+        return self.window_initial_tokens + self.window_last_tokens
+
+    def scaled_beta(self, head_dim: int) -> float:
+        """The DIPR ``beta`` adjusted for the substrate's head dimension.
+
+        ``beta`` is proportional to ``sqrt(d)`` (Theorem 1), so a value tuned
+        on Llama's 128-dim heads is rescaled to this model's head width.
+        """
+        if not self.scale_beta_to_head_dim:
+            return self.dipr_beta
+        return self.dipr_beta * (head_dim / self.reference_head_dim) ** 0.5

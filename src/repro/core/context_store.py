@@ -1,0 +1,159 @@
+"""The context store: stored long contexts and prefix-based reuse.
+
+A *context* is a prompt's token sequence plus the KV cache it produced and,
+once built, the per-layer vector indexes over its keys.  ``DB.create_session``
+matches the incoming prompt against the store to find the **longest common
+prefix** with any stored context; the matched prefix is reused (its KV cache
+and indexes are not recomputed) and only the non-reused suffix is prefilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ContextNotFoundError, DuplicateContextError
+from ..index.builder import LayerIndexes
+from ..index.coarse import CoarseBlockIndex
+from ..kvcache.serialization import KVSnapshot, load_snapshot, save_snapshot
+
+__all__ = ["StoredContext", "PrefixMatch", "ContextStore"]
+
+
+@dataclass
+class StoredContext:
+    """One reusable context: tokens, KV snapshot, and (optionally) indexes."""
+
+    context_id: str
+    snapshot: KVSnapshot
+    fine_indexes: dict[int, LayerIndexes] = field(default_factory=dict)
+    coarse_indexes: dict[int, list[CoarseBlockIndex]] = field(default_factory=dict)
+    query_samples: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def tokens(self) -> list[int]:
+        return self.snapshot.tokens
+
+    @property
+    def num_tokens(self) -> int:
+        return self.snapshot.num_tokens
+
+    @property
+    def num_layers(self) -> int:
+        return self.snapshot.num_layers
+
+    @property
+    def has_fine_indexes(self) -> bool:
+        return bool(self.fine_indexes)
+
+    def keys(self, layer: int) -> np.ndarray:
+        return self.snapshot.keys[layer]
+
+    def values(self, layer: int) -> np.ndarray:
+        return self.snapshot.values[layer]
+
+    @property
+    def kv_bytes(self) -> int:
+        return self.snapshot.nbytes
+
+    @property
+    def index_bytes(self) -> int:
+        return sum(indexes.memory_bytes for indexes in self.fine_indexes.values())
+
+
+@dataclass
+class PrefixMatch:
+    """Result of matching an incoming prompt against the store."""
+
+    context: StoredContext | None
+    prefix_length: int
+
+    @property
+    def is_hit(self) -> bool:
+        return self.context is not None and self.prefix_length > 0
+
+    @property
+    def is_full_reuse(self) -> bool:
+        return self.is_hit and self.prefix_length == self.context.num_tokens
+
+
+def _common_prefix_length(a: list[int], b: list[int]) -> int:
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+class ContextStore:
+    """In-memory registry of stored contexts with optional disk persistence."""
+
+    def __init__(self, storage_dir: str | Path | None = None):
+        self._contexts: dict[str, StoredContext] = {}
+        self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+
+    # ------------------------------------------------------------------
+    # registry operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def __contains__(self, context_id: str) -> bool:
+        return context_id in self._contexts
+
+    def add(self, context: StoredContext, overwrite: bool = False) -> None:
+        if not overwrite and context.context_id in self._contexts:
+            raise DuplicateContextError(f"context {context.context_id!r} already stored")
+        self._contexts[context.context_id] = context
+
+    def get(self, context_id: str) -> StoredContext:
+        try:
+            return self._contexts[context_id]
+        except KeyError:
+            raise ContextNotFoundError(f"context {context_id!r} not found") from None
+
+    def remove(self, context_id: str) -> None:
+        if context_id not in self._contexts:
+            raise ContextNotFoundError(f"context {context_id!r} not found")
+        del self._contexts[context_id]
+
+    def list_ids(self) -> list[str]:
+        return sorted(self._contexts)
+
+    @property
+    def total_kv_bytes(self) -> int:
+        return sum(context.kv_bytes for context in self._contexts.values())
+
+    # ------------------------------------------------------------------
+    # prefix matching
+    # ------------------------------------------------------------------
+    def find_longest_prefix(self, tokens: list[int]) -> PrefixMatch:
+        """Find the stored context sharing the longest common prefix with ``tokens``."""
+        best_context: StoredContext | None = None
+        best_length = 0
+        for context in self._contexts.values():
+            length = _common_prefix_length(tokens, context.tokens)
+            if length > best_length:
+                best_context, best_length = context, length
+        return PrefixMatch(context=best_context, prefix_length=best_length)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def persist(self, context_id: str) -> Path:
+        """Write a context's snapshot to ``storage_dir`` (indexes are rebuilt on load)."""
+        if self.storage_dir is None:
+            raise ValueError("this ContextStore was created without a storage_dir")
+        context = self.get(context_id)
+        return save_snapshot(context.snapshot, self.storage_dir, context_id)
+
+    def load_persisted(self, context_id: str) -> StoredContext:
+        """Load a previously persisted snapshot back into the registry."""
+        if self.storage_dir is None:
+            raise ValueError("this ContextStore was created without a storage_dir")
+        snapshot = load_snapshot(self.storage_dir, context_id)
+        context = StoredContext(context_id=context_id, snapshot=snapshot)
+        self.add(context, overwrite=True)
+        return context

@@ -1,0 +1,243 @@
+"""The ``DB`` abstraction: the entry point of AlayaDB (Table 2 of the paper).
+
+A ``DB`` owns every stored context (prompts, KV caches, vector indexes) the
+way a relational DB instance owns schemas and tables.  Applications interact
+with it through three calls:
+
+* ``create_session(prompts)`` — match the prompt against the stored contexts,
+  reuse the longest common prefix, and return a :class:`Session` plus the
+  *truncated* (non-reused) prompt suffix that still needs prefill;
+* ``import_context(...)`` — register an already-computed context (prompt +
+  KV cache) for future reuse, building its vector indexes;
+* ``store(session)`` — persist everything a session accumulated (reused
+  prefix + locally generated KV) as a new reusable context; this is the late
+  materialization point where the local KV finally enters a physical index.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+
+import numpy as np
+
+from ..index.builder import ContextIndexBuilder, IndexBuildConfig, LayerIndexes
+from ..index.coarse import CoarseBlockIndex
+from ..kvcache.cache import DynamicCache
+from ..kvcache.serialization import KVSnapshot
+from ..llm.model import TransformerModel
+from ..llm.tokenizer import ByteTokenizer
+from .config import AlayaDBConfig
+from .context_store import ContextStore, StoredContext
+from .session import Session
+
+__all__ = ["DB"]
+
+
+class DB:
+    """The AlayaDB database object."""
+
+    def __init__(
+        self,
+        config: AlayaDBConfig | None = None,
+        tokenizer: ByteTokenizer | None = None,
+        storage_dir: str | Path | None = None,
+    ):
+        self.config = config or AlayaDBConfig()
+        self.tokenizer = tokenizer or ByteTokenizer()
+        self.store_registry = ContextStore(storage_dir=storage_dir)
+        self._builder = ContextIndexBuilder(self.config.index_build)
+        self._context_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _tokenize(self, prompts: str | list[int] | np.ndarray) -> list[int]:
+        if isinstance(prompts, str):
+            return self.tokenizer.encode(prompts)
+        return [int(t) for t in np.asarray(prompts).reshape(-1)]
+
+    def _next_context_id(self) -> str:
+        return f"ctx-{next(self._context_counter):04d}"
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self.store_registry)
+
+    def get_context(self, context_id: str) -> StoredContext:
+        return self.store_registry.get(context_id)
+
+    # ------------------------------------------------------------------
+    # Table 2: DB.create_session(prompts) -> Session, prompts
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        prompts: str | list[int] | np.ndarray,
+        gpu_memory_budget_bytes: int | None = None,
+    ) -> tuple[Session, list[int]]:
+        """Create a session for ``prompts``; returns it plus the truncated prompt.
+
+        The longest common prefix between the prompt and any stored context is
+        reused through the session; only the remaining suffix is returned and
+        must be prefilled by the caller's model.
+        """
+        tokens = self._tokenize(prompts)
+        match = self.store_registry.find_longest_prefix(tokens)
+        useful = match.is_hit and match.prefix_length >= self.config.min_reuse_tokens
+        context = match.context if useful else None
+        reused = match.prefix_length if useful else 0
+        session = Session(
+            config=self.config,
+            context=context,
+            reused_prefix_length=reused,
+            num_layers=context.num_layers if context is not None else None,
+            gpu_memory_budget_bytes=gpu_memory_budget_bytes,
+        )
+        truncated = tokens[reused:]
+        return session, truncated
+
+    # ------------------------------------------------------------------
+    # Table 2: DB.import(prompts, kv_cache)
+    # ------------------------------------------------------------------
+    def import_context(
+        self,
+        prompts: str | list[int] | np.ndarray,
+        kv_cache: DynamicCache | KVSnapshot,
+        query_samples: dict[int, np.ndarray] | None = None,
+        context_id: str | None = None,
+        build_fine_indexes: bool = True,
+        build_coarse_indexes: bool = True,
+    ) -> StoredContext:
+        """Import an already-computed context (prompt + KV cache) for reuse."""
+        tokens = self._tokenize(prompts)
+        if isinstance(kv_cache, KVSnapshot):
+            snapshot = kv_cache
+        else:
+            keys = {layer: kv_cache.keys(layer).copy() for layer in range(kv_cache.num_layers)}
+            values = {layer: kv_cache.values(layer).copy() for layer in range(kv_cache.num_layers)}
+            snapshot = KVSnapshot(tokens=tokens, keys=keys, values=values)
+        snapshot.validate()
+
+        context_id = context_id or self._next_context_id()
+        context = StoredContext(context_id=context_id, snapshot=snapshot)
+        if query_samples:
+            context.query_samples = {layer: np.asarray(q, dtype=np.float32) for layer, q in query_samples.items()}
+        if build_fine_indexes:
+            self._build_fine_indexes(context)
+        if build_coarse_indexes:
+            self._build_coarse_indexes(context)
+        self.store_registry.add(context)
+        return context
+
+    # ------------------------------------------------------------------
+    # Table 2: DB.store(session)
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        session: Session,
+        tokens: list[int] | None = None,
+        context_id: str | None = None,
+        build_fine_indexes: bool = True,
+        build_coarse_indexes: bool = True,
+    ) -> StoredContext:
+        """Persist all of a session's state as a new reusable context.
+
+        This is where late materialization happens: the locally-cached KV the
+        session accumulated is merged with the reused prefix and a fresh set
+        of physical indexes is built over the merged keys.
+
+        ``tokens`` is the full token sequence the session now represents
+        (reused prefix + prefilled suffix + generated tokens); when omitted,
+        the reused context's tokens are extended with placeholder ids so the
+        KV snapshot stays consistent.
+        """
+        num_layers = session.num_layers
+        keys: dict[int, np.ndarray] = {}
+        values: dict[int, np.ndarray] = {}
+        for layer in range(num_layers):
+            layer_keys, layer_values = session._materialized_kv(layer)
+            keys[layer] = np.ascontiguousarray(layer_keys)
+            values[layer] = np.ascontiguousarray(layer_values)
+        total_tokens = keys[0].shape[1] if keys else 0
+        if tokens is None:
+            prefix_tokens = session.context.tokens[: session.reused_prefix_length] if session.context else []
+            padding = [self.tokenizer.pad_id] * (total_tokens - len(prefix_tokens))
+            tokens = list(prefix_tokens) + padding
+        snapshot = KVSnapshot(tokens=list(tokens), keys=keys, values=values)
+        snapshot.validate()
+
+        context_id = context_id or self._next_context_id()
+        context = StoredContext(context_id=context_id, snapshot=snapshot)
+        samples = session.query_samples
+        if samples:
+            context.query_samples = samples
+        if build_fine_indexes:
+            self._build_fine_indexes(context)
+        if build_coarse_indexes:
+            self._build_coarse_indexes(context)
+        self.store_registry.add(context, overwrite=True)
+        return context
+
+    # ------------------------------------------------------------------
+    # convenience: prefill a prompt with a model and import the result
+    # ------------------------------------------------------------------
+    def prefill_and_import(
+        self,
+        model: TransformerModel,
+        prompts: str | list[int] | np.ndarray,
+        context_id: str | None = None,
+        build_fine_indexes: bool = True,
+        build_coarse_indexes: bool = True,
+    ) -> StoredContext:
+        """Run a full prefill of ``prompts`` and import the resulting context.
+
+        Captures the per-layer query vectors of the prefill pass so RoarGraph
+        construction can use real (OOD) query samples.
+        """
+        tokens = self._tokenize(prompts)
+        cache = DynamicCache()
+        _, activations = model.forward(np.asarray(tokens, dtype=np.int64), cache, capture_activations=True)
+        query_samples = {act.layer: act.queries for act in activations}
+        return self.import_context(
+            tokens,
+            cache,
+            query_samples=query_samples,
+            context_id=context_id,
+            build_fine_indexes=build_fine_indexes,
+            build_coarse_indexes=build_coarse_indexes,
+        )
+
+    # ------------------------------------------------------------------
+    # index construction
+    # ------------------------------------------------------------------
+    def _build_fine_indexes(self, context: StoredContext) -> None:
+        keys_per_layer = context.snapshot.keys
+        queries_per_layer: dict[int, np.ndarray] = {}
+        for layer, keys in keys_per_layer.items():
+            sample = context.query_samples.get(layer)
+            if sample is None or sample.size == 0:
+                # fall back to the keys themselves (loses the OOD benefit but
+                # keeps the index functional)
+                sample = keys
+            queries_per_layer[layer] = np.asarray(sample, dtype=np.float32)
+        layer_indexes, _ = self._builder.build_context(keys_per_layer, queries_per_layer)
+        context.fine_indexes = layer_indexes
+
+    def _build_coarse_indexes(self, context: StoredContext) -> None:
+        coarse: dict[int, list[CoarseBlockIndex]] = {}
+        for layer, keys in context.snapshot.keys.items():
+            per_head: list[CoarseBlockIndex] = []
+            for kv_head in range(keys.shape[0]):
+                index = CoarseBlockIndex(block_size=self.config.coarse_block_size)
+                index.build(keys[kv_head])
+                per_head.append(index)
+            coarse[layer] = per_head
+        context.coarse_indexes = coarse
+
+    def rebuild_indexes(self, context_id: str, index_build: IndexBuildConfig | None = None) -> LayerIndexes | None:
+        """Rebuild a context's fine indexes (e.g. after changing build options)."""
+        context = self.store_registry.get(context_id)
+        if index_build is not None:
+            self._builder = ContextIndexBuilder(index_build)
+        self._build_fine_indexes(context)
+        return next(iter(context.fine_indexes.values()), None)

@@ -1,0 +1,148 @@
+"""The rule-based query optimizer (Figure 8 of the paper).
+
+Given a context and the serving constraints, the optimizer picks an execution
+plan per layer:
+
+1. *Short contexts* are answered with full attention — retrieval overhead
+   would dominate any savings.
+2. *Partial prefix reuse* attaches an attribute-filter predicate carrying the
+   reused prefix length.
+3. With a *large GPU memory budget* the whole context's blocks fit on the
+   GPU, so the coarse block index with a top-k query (the InfLLM execution
+   path) gives the lowest latency.
+4. With a *limited budget* the optimizer selects the DIPR query; the first
+   layer (which needs a large number of critical tokens, Figure 5) runs it on
+   the flat index, every other layer on the fine-grained graph index.
+
+Both the query-type and index-type sets are extensible: registering a new
+rule ahead of the defaults lets deployments specialise the decision without
+forking the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..query.types import DIPRQuery, FilterPredicate, IndexKind, QueryKind, TopKQuery
+from .config import AlayaDBConfig
+from .planner import ExecutionPlan
+
+__all__ = ["QueryContext", "RuleBasedOptimizer", "OptimizerRule"]
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Everything the optimizer may inspect when planning one layer."""
+
+    context_length: int
+    layer: int
+    head_dim: int
+    num_kv_heads: int
+    num_layers: int
+    reused_prefix_length: int | None = None
+    gpu_memory_budget_bytes: int | None = None
+    kv_bytes_per_token: int = 0
+
+    @property
+    def is_partial_reuse(self) -> bool:
+        return (
+            self.reused_prefix_length is not None
+            and 0 < self.reused_prefix_length < self.context_length
+        )
+
+
+OptimizerRule = Callable[[QueryContext, AlayaDBConfig], ExecutionPlan | None]
+"""A rule inspects the query context and either returns a plan or defers."""
+
+
+class RuleBasedOptimizer:
+    """Applies an ordered list of rules; the first plan returned wins."""
+
+    def __init__(self, config: AlayaDBConfig | None = None):
+        self.config = config or AlayaDBConfig()
+        self._rules: list[OptimizerRule] = [
+            self._rule_short_context,
+            self._rule_coarse_when_budget_allows,
+            self._rule_dipr_by_layer,
+        ]
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def register_rule(self, rule: OptimizerRule, priority: int = 0) -> None:
+        """Insert a custom rule; ``priority`` is the index in the rule list."""
+        self._rules.insert(priority, rule)
+
+    def plan(self, query_context: QueryContext) -> ExecutionPlan:
+        """Produce the execution plan for one layer of one context."""
+        for rule in self._rules:
+            plan = rule(query_context, self.config)
+            if plan is not None:
+                return plan
+        # unreachable with the default rules, but a safe fallback regardless
+        return ExecutionPlan(query_kind=QueryKind.FULL, index_kind=None)
+
+    def plan_all_layers(self, query_context: QueryContext) -> dict[int, ExecutionPlan]:
+        """Plans for every layer of the model serving this context."""
+        return {
+            layer: self.plan(
+                QueryContext(
+                    context_length=query_context.context_length,
+                    layer=layer,
+                    head_dim=query_context.head_dim,
+                    num_kv_heads=query_context.num_kv_heads,
+                    num_layers=query_context.num_layers,
+                    reused_prefix_length=query_context.reused_prefix_length,
+                    gpu_memory_budget_bytes=query_context.gpu_memory_budget_bytes,
+                    kv_bytes_per_token=query_context.kv_bytes_per_token,
+                )
+            )
+            for layer in range(query_context.num_layers)
+        }
+
+    # ------------------------------------------------------------------
+    # helpers shared by the rules
+    # ------------------------------------------------------------------
+    def _predicate(self, query_context: QueryContext) -> FilterPredicate | None:
+        if query_context.is_partial_reuse:
+            return FilterPredicate(max_position=query_context.reused_prefix_length)
+        return None
+
+    def _dipr_query(self, query_context: QueryContext) -> DIPRQuery:
+        return DIPRQuery(
+            beta=self.config.scaled_beta(query_context.head_dim),
+            capacity_threshold=self.config.dipr_capacity_threshold,
+            max_tokens=self.config.max_retrieved_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    # default rules, in priority order
+    # ------------------------------------------------------------------
+    def _rule_short_context(self, query_context: QueryContext, config: AlayaDBConfig) -> ExecutionPlan | None:
+        if query_context.context_length <= config.short_context_threshold:
+            return ExecutionPlan(query_kind=QueryKind.FULL, index_kind=None)
+        return None
+
+    def _rule_coarse_when_budget_allows(self, query_context: QueryContext, config: AlayaDBConfig) -> ExecutionPlan | None:
+        budget = query_context.gpu_memory_budget_bytes
+        if budget is None:
+            budget = config.gpu_memory_budget_bytes
+        required = query_context.context_length * max(query_context.kv_bytes_per_token, 1)
+        if required > budget:
+            return None
+        return ExecutionPlan(
+            query_kind=QueryKind.TOP_K,
+            index_kind=IndexKind.COARSE,
+            query=TopKQuery(k=config.topk_k),
+            predicate=self._predicate(query_context),
+        )
+
+    def _rule_dipr_by_layer(self, query_context: QueryContext, config: AlayaDBConfig) -> ExecutionPlan | None:
+        index_kind = IndexKind.FLAT if query_context.layer in config.flat_index_layers else IndexKind.FINE
+        return ExecutionPlan(
+            query_kind=QueryKind.DIPR,
+            index_kind=index_kind,
+            query=self._dipr_query(query_context),
+            predicate=self._predicate(query_context),
+        )

@@ -1,0 +1,238 @@
+"""Execution plans and their executor.
+
+The optimizer (Figure 8 of the paper) outputs an :class:`ExecutionPlan` —
+which query type runs against which index type, whether the window cache
+seeds the search and whether an attribute filter applies.  The
+:class:`PlanExecutor` carries a plan out against the per-head index data of
+one layer and returns the selected critical-token positions together with
+work statistics, which the latency model converts into modelled seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PlanningError, UnsupportedQueryError
+from ..index.coarse import CoarseBlockIndex
+from ..index.flat import FlatIndex
+from ..index.roargraph import RoarGraphIndex
+from ..query.dipr import diprs_search, exact_dipr
+from ..query.filtered import filtered_diprs_search, predicate_mask
+from ..query.topk import graph_topk_search
+from ..query.types import DIPRQuery, FilterPredicate, IndexKind, QueryKind, TopKQuery
+
+__all__ = ["ExecutionPlan", "RetrievalOutcome", "LayerIndexData", "PlanExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One layer's retrieval strategy chosen by the optimizer."""
+
+    query_kind: str
+    index_kind: str | None
+    query: TopKQuery | DIPRQuery | None = None
+    predicate: FilterPredicate | None = None
+    use_window_seed: bool = True
+
+    @property
+    def is_full_attention(self) -> bool:
+        return self.query_kind == QueryKind.FULL
+
+    def describe(self) -> str:
+        """Human-readable one-liner (shown by the examples and benchmarks)."""
+        if self.is_full_attention:
+            return "full attention"
+        parts = [f"{self.query_kind} over {self.index_kind} index"]
+        if isinstance(self.query, DIPRQuery):
+            parts.append(f"beta={self.query.beta:.2f}")
+        if isinstance(self.query, TopKQuery):
+            parts.append(f"k={self.query.k}")
+        if self.predicate is not None:
+            parts.append(f"filter<{self.predicate.max_position}")
+        return ", ".join(parts)
+
+
+@dataclass
+class RetrievalOutcome:
+    """Positions selected for one head plus the work it took to find them."""
+
+    positions: np.ndarray
+    scores: np.ndarray
+    num_distance_computations: int
+    num_candidates: int
+
+    @property
+    def num_selected(self) -> int:
+        return int(self.positions.shape[0])
+
+
+@dataclass
+class LayerIndexData:
+    """Everything the executor may need about one layer of a stored context.
+
+    Not every field is populated: the flat path only needs ``keys``; the fine
+    path needs the per-KV-head RoarGraph indexes; the coarse path needs the
+    block indexes.
+    """
+
+    keys: np.ndarray
+    """Key vectors ``(num_kv_heads, n, head_dim)`` of the stored context."""
+
+    fine_indexes: list[RoarGraphIndex] | None = None
+    """One RoarGraph per KV head (GQA-shared) or per query head."""
+
+    coarse_indexes: list[CoarseBlockIndex] | None = None
+    """One coarse block index per KV head."""
+
+    flat_indexes: list[FlatIndex] = field(default_factory=list)
+    """Lazily-created flat indexes per KV head."""
+
+    shared: bool = True
+    gqa_group_size: int = 1
+
+    def fine_index_for_query_head(self, query_head: int) -> RoarGraphIndex:
+        if not self.fine_indexes:
+            raise PlanningError("fine-grained indexes are not available for this layer")
+        if self.shared:
+            return self.fine_indexes[query_head // self.gqa_group_size]
+        return self.fine_indexes[query_head]
+
+    def kv_head_for_query_head(self, query_head: int) -> int:
+        return query_head // self.gqa_group_size
+
+    def flat_index_for_kv_head(self, kv_head: int) -> FlatIndex:
+        while len(self.flat_indexes) <= kv_head:
+            self.flat_indexes.append(FlatIndex())
+        index = self.flat_indexes[kv_head]
+        if not index.is_built:
+            index.build(self.keys[kv_head])
+        return index
+
+    def coarse_index_for_kv_head(self, kv_head: int) -> CoarseBlockIndex:
+        if not self.coarse_indexes:
+            raise PlanningError("coarse indexes are not available for this layer")
+        return self.coarse_indexes[kv_head]
+
+
+class PlanExecutor:
+    """Executes an :class:`ExecutionPlan` for a single query head."""
+
+    def __init__(self, coarse_num_blocks: int = 32):
+        self.coarse_num_blocks = coarse_num_blocks
+
+    def retrieve(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        query_head: int,
+        query: np.ndarray,
+        window_max_score: float | None = None,
+    ) -> RetrievalOutcome:
+        """Run ``plan`` for one query head and return the selected positions."""
+        if plan.is_full_attention:
+            raise PlanningError("full-attention plans are executed by the attention engine, not retrieval")
+        kv_head = data.kv_head_for_query_head(query_head)
+        num_tokens = data.keys.shape[1]
+
+        if plan.index_kind == IndexKind.FLAT:
+            return self._retrieve_flat(plan, data, kv_head, query, num_tokens)
+        if plan.index_kind == IndexKind.FINE:
+            return self._retrieve_fine(plan, data, query_head, query, window_max_score, num_tokens)
+        if plan.index_kind == IndexKind.COARSE:
+            return self._retrieve_coarse(plan, data, kv_head, query)
+        raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
+
+    # ------------------------------------------------------------------
+    # per-index-kind paths
+    # ------------------------------------------------------------------
+    def _retrieve_flat(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        kv_head: int,
+        query: np.ndarray,
+        num_tokens: int,
+    ) -> RetrievalOutcome:
+        index = data.flat_index_for_kv_head(kv_head)
+        allowed = predicate_mask(num_tokens, plan.predicate)
+        if isinstance(plan.query, DIPRQuery):
+            result = index.search_range(query, plan.query.beta, allowed=allowed)
+            if plan.query.max_tokens is not None:
+                result = result.top(plan.query.max_tokens)
+        elif isinstance(plan.query, TopKQuery):
+            result = index.search_topk(query, plan.query.k, allowed=allowed)
+        else:
+            raise UnsupportedQueryError(f"flat index cannot process {plan.query!r}")
+        return RetrievalOutcome(result.indices, result.scores, result.num_distance_computations, len(result))
+
+    def _retrieve_fine(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        query_head: int,
+        query: np.ndarray,
+        window_max_score: float | None,
+        num_tokens: int,
+    ) -> RetrievalOutcome:
+        index = data.fine_index_for_query_head(query_head)
+        seed = window_max_score if plan.use_window_seed else None
+        if isinstance(plan.query, DIPRQuery):
+            if plan.predicate is not None:
+                result, stats = filtered_diprs_search(
+                    index.vectors,
+                    index.graph,
+                    query,
+                    plan.query.beta,
+                    [index.entry_point],
+                    plan.predicate,
+                    capacity_threshold=plan.query.capacity_threshold,
+                    window_max_score=seed,
+                    max_tokens=plan.query.max_tokens,
+                )
+            else:
+                result, stats = diprs_search(
+                    index.vectors,
+                    index.graph,
+                    query,
+                    plan.query.beta,
+                    [index.entry_point],
+                    capacity_threshold=plan.query.capacity_threshold,
+                    window_max_score=seed,
+                    max_tokens=plan.query.max_tokens,
+                )
+            return RetrievalOutcome(result.indices, result.scores, stats.num_distance_computations, len(result))
+        if isinstance(plan.query, TopKQuery):
+            allowed = predicate_mask(num_tokens, plan.predicate)
+            result = graph_topk_search(
+                index.vectors,
+                index.graph,
+                query,
+                plan.query.k,
+                [index.entry_point],
+                ef=plan.query.ef,
+                allowed=allowed,
+            )
+            return RetrievalOutcome(result.indices, result.scores, result.num_distance_computations, len(result))
+        raise UnsupportedQueryError(f"fine index cannot process {plan.query!r}")
+
+    def _retrieve_coarse(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        kv_head: int,
+        query: np.ndarray,
+    ) -> RetrievalOutcome:
+        if isinstance(plan.query, DIPRQuery):
+            raise UnsupportedQueryError("the coarse index does not support DIPR queries (Table 4)")
+        index = data.coarse_index_for_kv_head(kv_head)
+        if isinstance(plan.query, TopKQuery):
+            num_blocks = max(1, min(self.coarse_num_blocks, index.num_blocks))
+            positions = index.selected_positions(query, num_blocks)
+            if plan.predicate is not None:
+                positions = positions[positions < plan.predicate.max_position]
+            scores = index.vectors[positions] @ np.asarray(query, dtype=np.float32)
+            distance_computations = index.num_blocks * index.num_representatives
+            return RetrievalOutcome(positions, scores.astype(np.float32), distance_computations, len(positions))
+        raise UnsupportedQueryError(f"coarse index cannot process {plan.query!r}")

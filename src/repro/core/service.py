@@ -1,0 +1,174 @@
+"""A minimal serving layer on top of the DB/Session interface.
+
+The paper's deployment story (Section 8) is a Model-as-a-Service provider
+running many concurrent requests against a library of stored contexts.  This
+module provides the small amount of glue such a service needs on top of
+:class:`~repro.core.db.DB`:
+
+* ingest documents once and reuse them across requests,
+* create one session per request, run generation, and record the SLO metrics
+  (TTFT / TPOT) and the GPU residency of every request,
+* optionally persist finished conversations back into the store so follow-up
+  requests reuse them.
+
+It is intentionally synchronous — the substrate is single-threaded NumPy —
+but the accounting (per-request stats, aggregate SLO report, peak resident
+bytes) mirrors what a production deployment would export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..llm.generation import GenerationLoop, GenerationResult
+from ..llm.model import TransformerModel
+from ..simulator.cost_model import CostModel
+from ..simulator.slo import SLO, SLOReport, SLOTracker
+from .config import AlayaDBConfig
+from .db import DB
+from .session import Session
+
+__all__ = ["RequestRecord", "ServiceStats", "InferenceService"]
+
+
+@dataclass
+class RequestRecord:
+    """Everything the service tracked about one served request."""
+
+    request_id: int
+    prompt_tokens: int
+    reused_tokens: int
+    generated_tokens: int
+    ttft_seconds: float
+    tpot_seconds: float
+    modeled_tpot_seconds: float
+    gpu_resident_bytes: int
+    stored_context_id: str | None = None
+
+    @property
+    def reuse_ratio(self) -> float:
+        return self.reused_tokens / max(self.prompt_tokens, 1)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate statistics over every request served so far."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_reuse_ratio(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.reuse_ratio for r in self.records]))
+
+    @property
+    def peak_gpu_resident_bytes(self) -> int:
+        return max((r.gpu_resident_bytes for r in self.records), default=0)
+
+    @property
+    def mean_modeled_tpot(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.modeled_tpot_seconds for r in self.records]))
+
+
+class InferenceService:
+    """Serves generation requests through AlayaDB with SLO accounting."""
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        config: AlayaDBConfig | None = None,
+        cost_model: CostModel | None = None,
+        store_conversations: bool = False,
+    ):
+        self.model = model
+        self.config = config or AlayaDBConfig()
+        self.db = DB(self.config)
+        self.loop = GenerationLoop(model)
+        self.cost_model = cost_model or CostModel()
+        self.store_conversations = store_conversations
+        self.stats = ServiceStats()
+        self.slo_tracker = SLOTracker(self.config.slo)
+        self._request_counter = 0
+
+    # ------------------------------------------------------------------
+    # document management
+    # ------------------------------------------------------------------
+    def ingest(self, document: str | list[int], context_id: str | None = None) -> str:
+        """Import a document (prefill + index construction) for later reuse."""
+        context = self.db.prefill_and_import(self.model, document, context_id=context_id)
+        return context.context_id
+
+    @property
+    def num_contexts(self) -> int:
+        return self.db.num_contexts
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        prompt: str | list[int],
+        max_new_tokens: int = 16,
+        gpu_memory_budget_bytes: int | None = None,
+    ) -> tuple[GenerationResult, RequestRecord]:
+        """Serve one request end to end and record its metrics."""
+        self._request_counter += 1
+        request_id = self._request_counter
+        prompt_tokens = self.db._tokenize(prompt)
+
+        session, truncated = self.db.create_session(
+            prompt_tokens, gpu_memory_budget_bytes=gpu_memory_budget_bytes
+        )
+        result = self.loop.run_tokens(truncated, cache=session, max_new_tokens=max_new_tokens)
+        record = self._record(request_id, prompt_tokens, session, result)
+        if self.store_conversations:
+            stored = self.db.store(session, context_id=f"conversation-{request_id:04d}")
+            record.stored_context_id = stored.context_id
+        self.stats.records.append(record)
+        return result, record
+
+    def _record(
+        self,
+        request_id: int,
+        prompt_tokens: list[int],
+        session: Session,
+        result: GenerationResult,
+    ) -> RequestRecord:
+        stats = session.last_decode_stats
+        per_head_distance = stats.num_distance_computations / max(stats.num_heads, 1)
+        modeled_tpot = self.cost_model.sparse_decode_seconds(
+            num_selected_tokens=int(stats.mean_selected_per_head) + stats.num_window_tokens // max(stats.num_heads, 1),
+            num_distance_computations=int(per_head_distance),
+        )
+        self.slo_tracker.record(tpot_seconds=modeled_tpot, ttft_seconds=result.ttft_seconds)
+        return RequestRecord(
+            request_id=request_id,
+            prompt_tokens=len(prompt_tokens),
+            reused_tokens=session.reused_prefix_length,
+            generated_tokens=result.num_generated,
+            ttft_seconds=result.ttft_seconds,
+            tpot_seconds=result.tpot_seconds,
+            modeled_tpot_seconds=modeled_tpot,
+            gpu_resident_bytes=session.gpu_memory_bytes(),
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def slo_report(self) -> SLOReport:
+        """Aggregate SLO compliance of every served request."""
+        return self.slo_tracker.report()
+
+    def require_slo(self) -> None:
+        """Raise when the aggregate modelled TPOT misses the configured SLO."""
+        report = self.slo_report()
+        self.config.slo.require_tpot(report.tpot_mean, context="(service aggregate)")

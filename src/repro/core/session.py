@@ -1,0 +1,365 @@
+"""The ``Session`` abstraction: a running inference request connected to contexts.
+
+A session plays the role HuggingFace's ``DynamicCache`` plays in the coupled
+architecture (Figure 4 of the paper): the model pushes Q/K/V into it per layer
+and asks it for attention outputs.  Unlike ``DynamicCache`` the session
+
+* may be *connected to a stored context* whose KV cache and vector indexes are
+  reused instead of recomputed (prefix reuse),
+* keeps newly generated KV in a small **local cache** rather than inserting it
+  into the index immediately (late materialization, Section 7.2),
+* answers decode-time attention with the **sparse** data-centric engine,
+  retrieving critical tokens through the plan selected by the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SessionClosedError
+from ..kvcache.cache import LayerKVCache
+from ..llm.attention import full_attention
+from .attention_engine import DataCentricAttentionEngine
+from .config import AlayaDBConfig
+from .context_store import StoredContext
+from .optimizer import QueryContext, RuleBasedOptimizer
+from .planner import ExecutionPlan, LayerIndexData, PlanExecutor
+from .window_cache import WindowCache
+
+__all__ = ["DecodeStepStats", "Session"]
+
+
+@dataclass
+class DecodeStepStats:
+    """Work performed by the last decode step (summed over layers and heads)."""
+
+    num_selected_tokens: int = 0
+    num_distance_computations: int = 0
+    num_window_tokens: int = 0
+    num_local_tokens: int = 0
+    num_heads: int = 0
+
+    def merge(self, other: "DecodeStepStats") -> None:
+        self.num_selected_tokens += other.num_selected_tokens
+        self.num_distance_computations += other.num_distance_computations
+        self.num_window_tokens += other.num_window_tokens
+        self.num_local_tokens += other.num_local_tokens
+        self.num_heads += other.num_heads
+
+    @property
+    def mean_selected_per_head(self) -> float:
+        return self.num_selected_tokens / max(self.num_heads, 1)
+
+
+@dataclass
+class _ModelDims:
+    """Model shape inferred from the tensors flowing through the session."""
+
+    num_query_heads: int
+    num_kv_heads: int
+    head_dim: int
+
+    @property
+    def gqa_group_size(self) -> int:
+        return self.num_query_heads // self.num_kv_heads
+
+
+class Session:
+    """A connection between running inference and the stored contexts."""
+
+    def __init__(
+        self,
+        config: AlayaDBConfig | None = None,
+        context: StoredContext | None = None,
+        reused_prefix_length: int = 0,
+        num_layers: int | None = None,
+        gpu_memory_budget_bytes: int | None = None,
+    ):
+        self.config = config or AlayaDBConfig()
+        self.context = context
+        self.reused_prefix_length = int(reused_prefix_length) if context is not None else 0
+        if context is not None and self.reused_prefix_length <= 0:
+            self.reused_prefix_length = context.num_tokens
+        self._num_layers = num_layers or (context.num_layers if context is not None else None)
+        self.gpu_memory_budget_bytes = gpu_memory_budget_bytes
+
+        self._closed = False
+        self._dims: _ModelDims | None = None
+        self._local: dict[int, LayerKVCache] = {}
+        self._query_samples: dict[int, list[np.ndarray]] = {}
+        self._plans: dict[int, ExecutionPlan] | None = None
+        self._layer_data: dict[int, LayerIndexData] = {}
+
+        self.window = WindowCache(self.config.window_initial_tokens, self.config.window_last_tokens)
+        self.engine = DataCentricAttentionEngine()
+        self.executor = PlanExecutor(coarse_num_blocks=self.config.coarse_num_blocks)
+        self.optimizer = RuleBasedOptimizer(self.config)
+        self.last_decode_stats = DecodeStepStats()
+        self.total_decode_stats = DecodeStepStats()
+        self.num_decode_steps = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle and introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("this session has been closed")
+
+    @property
+    def is_connected(self) -> bool:
+        """True when the session reuses a stored context."""
+        return self.context is not None and self.reused_prefix_length > 0
+
+    @property
+    def num_layers(self) -> int:
+        if self._num_layers is not None:
+            return self._num_layers
+        return max(self._local) + 1 if self._local else 0
+
+    def local_length(self, layer: int = 0) -> int:
+        cache = self._local.get(layer)
+        return len(cache) if cache is not None else 0
+
+    def sequence_length(self, layer: int = 0) -> int:
+        """Total visible context length: reused prefix + locally appended tokens."""
+        return self.reused_prefix_length + self.local_length(layer)
+
+    @property
+    def query_samples(self) -> dict[int, np.ndarray]:
+        """Captured query vectors per layer, ``(num_query_heads, m, head_dim)``."""
+        stacked: dict[int, np.ndarray] = {}
+        for layer, samples in self._query_samples.items():
+            stacked[layer] = np.concatenate(samples, axis=1) if samples else np.empty((0, 0, 0), dtype=np.float32)
+        return stacked
+
+    def local_snapshot(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Keys/values appended locally for ``layer`` (may be empty arrays)."""
+        cache = self._local.get(layer)
+        if cache is None:
+            if self._dims is None:
+                empty = np.empty((0, 0, 0), dtype=np.float32)
+                return empty, empty
+            empty = np.empty((self._dims.num_kv_heads, 0, self._dims.head_dim), dtype=np.float32)
+            return empty, empty
+        return cache.keys, cache.values
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def gpu_memory_bytes(self) -> int:
+        """Bytes this session pins in (simulated) GPU memory.
+
+        The window cache and the local (unmaterialised) KV stay on the GPU;
+        the stored context's KV and indexes stay on CPU/disk, and only
+        attention outputs cross the boundary.
+        """
+        if self._dims is None:
+            return 0
+        dims = self._dims
+        layers = max(self.num_layers, 1)
+        window_bytes = self.window.memory_bytes(
+            self.reused_prefix_length, dims.num_kv_heads, dims.head_dim, layers
+        )
+        local_bytes = sum(cache.nbytes for cache in self._local.values())
+        coarse_bytes = 0
+        if self._plans:
+            uses_coarse = any(plan.index_kind == "coarse" for plan in self._plans.values())
+            if uses_coarse and self.context is not None:
+                coarse_bytes = sum(
+                    sum(index.memory_bytes for index in indexes)
+                    for indexes in self.context.coarse_indexes.values()
+                )
+        return window_bytes + local_bytes + coarse_bytes
+
+    # ------------------------------------------------------------------
+    # cache-protocol surface (what the model calls)
+    # ------------------------------------------------------------------
+    def update_query(self, q: np.ndarray, k: np.ndarray, v: np.ndarray, layer: int) -> None:
+        """Register new Q/K/V for ``layer`` (Table 2: ``Session.update``).
+
+        Keys/values are appended to the local cache (late materialization);
+        query vectors are sampled and kept so that ``DB.store`` can build the
+        OOD-aware RoarGraph indexes later.
+        """
+        self._require_open()
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if self._dims is None:
+            self._dims = _ModelDims(num_query_heads=q.shape[0], num_kv_heads=k.shape[0], head_dim=q.shape[2])
+        cache = self._local.get(layer)
+        if cache is None:
+            cache = LayerKVCache(k.shape[0], k.shape[2])
+            self._local[layer] = cache
+        cache.append(k, v)
+        self._query_samples.setdefault(layer, []).append(q.copy())
+
+    def update(self, k: np.ndarray, v: np.ndarray, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """DynamicCache-compatible update: append and return the *full* KV.
+
+        Provided for manual management (Table 2); the decoupled path uses
+        :meth:`update_query` + :meth:`attention` instead and never
+        materialises the full tensors.
+        """
+        self._require_open()
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        num_query_heads = k.shape[0] * (self._dims.gqa_group_size if self._dims else 1)
+        if self._dims is None:
+            self._dims = _ModelDims(num_query_heads=num_query_heads, num_kv_heads=k.shape[0], head_dim=k.shape[2])
+        cache = self._local.get(layer)
+        if cache is None:
+            cache = LayerKVCache(k.shape[0], k.shape[2])
+            self._local[layer] = cache
+        cache.append(k, v)
+        return self._materialized_kv(layer)
+
+    # ------------------------------------------------------------------
+    # attention
+    # ------------------------------------------------------------------
+    def attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        """Attention output for ``q`` at ``layer`` (Table 2: ``Session.attention``).
+
+        ``q`` has shape ``(num_query_heads, seq, head_dim)``.  Multi-token
+        queries (the prefill of the non-reused suffix) run exact causal
+        attention; single-token queries (decode) run the sparse plan.
+        """
+        self._require_open()
+        q = np.asarray(q, dtype=np.float32)
+        if q.ndim != 3:
+            raise ValueError(f"expected q of shape (heads, seq, head_dim), got {q.shape}")
+        if q.shape[1] > 1 or not self._use_sparse_path(layer):
+            return self._full_attention(q, layer)
+        return self._sparse_attention(q, layer)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _materialized_kv(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stored-prefix KV concatenated with the local KV for ``layer``."""
+        local_keys, local_values = self.local_snapshot(layer)
+        if self.context is not None and self.reused_prefix_length > 0 and layer in self.context.snapshot.keys:
+            stored_keys = self.context.keys(layer)[:, : self.reused_prefix_length, :]
+            stored_values = self.context.values(layer)[:, : self.reused_prefix_length, :]
+            if local_keys.shape[1] == 0:
+                return stored_keys, stored_values
+            return (
+                np.concatenate([stored_keys, local_keys], axis=1),
+                np.concatenate([stored_values, local_values], axis=1),
+            )
+        return local_keys, local_values
+
+    def _plans_for_context(self) -> dict[int, ExecutionPlan]:
+        if self._plans is not None:
+            return self._plans
+        dims = self._dims
+        kv_bytes_per_token = 0
+        if dims is not None:
+            kv_bytes_per_token = 2 * dims.num_kv_heads * dims.head_dim * 4 * max(self.num_layers, 1)
+        query_context = QueryContext(
+            context_length=self.sequence_length(0),
+            layer=0,
+            head_dim=dims.head_dim if dims else 1,
+            num_kv_heads=dims.num_kv_heads if dims else 1,
+            num_layers=max(self.num_layers, 1),
+            reused_prefix_length=self.reused_prefix_length if self.is_connected else None,
+            gpu_memory_budget_bytes=self.gpu_memory_budget_bytes,
+            kv_bytes_per_token=kv_bytes_per_token,
+        )
+        self._plans = self.optimizer.plan_all_layers(query_context)
+        return self._plans
+
+    def plan_for_layer(self, layer: int) -> ExecutionPlan:
+        """The optimizer's plan for ``layer`` (public for inspection/benchmarks)."""
+        return self._plans_for_context()[layer]
+
+    def _use_sparse_path(self, layer: int) -> bool:
+        if not self.is_connected:
+            return False
+        if layer not in self.context.snapshot.keys:
+            return False
+        plan = self._plans_for_context().get(layer)
+        if plan is None or plan.is_full_attention:
+            return False
+        if plan.index_kind == "fine" and layer not in self.context.fine_indexes:
+            return False
+        if plan.index_kind == "coarse" and layer not in self.context.coarse_indexes:
+            return False
+        return True
+
+    def _layer_index_data(self, layer: int) -> LayerIndexData:
+        data = self._layer_data.get(layer)
+        if data is not None:
+            return data
+        context = self.context
+        fine = context.fine_indexes.get(layer)
+        coarse = context.coarse_indexes.get(layer)
+        dims = self._dims
+        data = LayerIndexData(
+            keys=context.keys(layer),
+            fine_indexes=fine.indexes if fine is not None else None,
+            coarse_indexes=coarse,
+            shared=fine.shared if fine is not None else True,
+            gqa_group_size=(fine.gqa_group_size if fine is not None else (dims.gqa_group_size if dims else 1)),
+        )
+        self._layer_data[layer] = data
+        return data
+
+    def _full_attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        keys, values = self._materialized_kv(layer)
+        if keys.shape[1] == 0:
+            return np.zeros_like(q)
+        return full_attention(q, keys, values, causal=True)
+
+    def _sparse_attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        dims = self._dims
+        plan = self._plans_for_context()[layer]
+        data = self._layer_index_data(layer)
+        local_keys, local_values = self.local_snapshot(layer)
+        stored_keys = self.context.keys(layer)
+        stored_values = self.context.values(layer)
+        prefix = self.reused_prefix_length
+        window_positions = self.window.positions(prefix)
+
+        outputs = np.zeros((dims.num_query_heads, 1, dims.head_dim), dtype=np.float32)
+        stats = DecodeStepStats()
+        for head in range(dims.num_query_heads):
+            kv_head = head // dims.gqa_group_size
+            query = q[head, 0, :]
+            head_keys = stored_keys[kv_head, :prefix, :]
+            head_values = stored_values[kv_head, :prefix, :]
+            local_k = local_keys[kv_head] if local_keys.shape[1] else None
+            local_v = local_values[kv_head] if local_values.shape[1] else None
+
+            window_max = self.window.max_window_score(query, head_keys, window_positions)
+            if local_k is not None and local_k.shape[0] > 0:
+                window_max = max(window_max, float((local_k @ query).max()))
+            outcome = self.executor.retrieve(plan, data, head, query, window_max_score=window_max)
+            retrieved = outcome.positions[outcome.positions < prefix]
+
+            output, breakdown = self.engine.head_output(
+                query,
+                head_keys,
+                head_values,
+                window_positions=window_positions,
+                retrieved_positions=retrieved,
+                local_keys=local_k,
+                local_values=local_v,
+            )
+            outputs[head, 0, :] = output
+            stats.num_selected_tokens += breakdown.num_retrieved_tokens
+            stats.num_distance_computations += outcome.num_distance_computations
+            stats.num_window_tokens += breakdown.num_window_tokens
+            stats.num_local_tokens += breakdown.num_local_tokens
+            stats.num_heads += 1
+
+        self.last_decode_stats = stats
+        self.total_decode_stats.merge(stats)
+        if layer == self.num_layers - 1:
+            self.num_decode_steps += 1
+        return outputs

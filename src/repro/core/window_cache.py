@@ -1,0 +1,63 @@
+"""Window cache: the initial + last tokens kept in GPU memory (Section 7.1).
+
+Sparse-attention systems keep a window of the first tokens (attention sinks)
+and the most recent tokens resident because they carry disproportionately
+large attention weight.  AlayaDB additionally exploits the window to tighten
+DIPRS pruning: the maximum inner product between the query and the window
+keys is a strong lower bound on the global maximum (the paper measures ~98%
+coverage with a 32+32 window on Math.F), so it is fed into the search as the
+initial best-so-far score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WindowCache"]
+
+
+@dataclass
+class WindowCache:
+    """Tracks which token positions are held in the GPU-resident window."""
+
+    initial_tokens: int
+    last_tokens: int
+
+    def positions(self, context_length: int) -> np.ndarray:
+        """Window positions for a context of ``context_length`` tokens.
+
+        The initial and last ranges may overlap for short contexts; the
+        result is deduplicated and sorted.
+        """
+        if context_length <= 0:
+            return np.empty(0, dtype=np.int64)
+        initial = np.arange(0, min(self.initial_tokens, context_length), dtype=np.int64)
+        last_start = max(0, context_length - self.last_tokens)
+        last = np.arange(last_start, context_length, dtype=np.int64)
+        return np.unique(np.concatenate([initial, last]))
+
+    def covers(self, context_length: int) -> bool:
+        """True when the window spans the whole context."""
+        return context_length <= self.initial_tokens + self.last_tokens
+
+    def num_positions(self, context_length: int) -> int:
+        return int(self.positions(context_length).shape[0])
+
+    def memory_bytes(self, context_length: int, num_kv_heads: int, head_dim: int, num_layers: int, bytes_per_value: int = 4) -> int:
+        """GPU bytes used by the window's K and V across all layers."""
+        tokens = self.num_positions(context_length)
+        return 2 * tokens * num_kv_heads * head_dim * num_layers * bytes_per_value
+
+    def max_window_score(self, query: np.ndarray, keys: np.ndarray, positions: np.ndarray) -> float:
+        """Maximum inner product between ``query`` and the window keys.
+
+        ``keys`` is the full ``(n, d)`` key matrix of one head; ``positions``
+        the window positions (so callers can reuse a precomputed window).
+        Returns ``-inf`` for an empty window.
+        """
+        if positions.shape[0] == 0:
+            return float("-inf")
+        scores = keys[positions] @ np.asarray(query, dtype=np.float32)
+        return float(scores.max())

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the AlayaDB reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes are grouped by subsystem (database interface,
+query processing, index, storage, simulator) mirroring the components in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the DB / Session user interface."""
+
+
+class SessionClosedError(DatabaseError):
+    """An operation was attempted on a session that has been closed."""
+
+
+class ContextNotFoundError(DatabaseError):
+    """A requested context id does not exist in the context store."""
+
+
+class DuplicateContextError(DatabaseError):
+    """A context with the same id has already been imported."""
+
+
+class QueryError(ReproError):
+    """Base class for query-processing errors."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The selected index type cannot process the requested query type."""
+
+
+class PlanningError(QueryError):
+    """The query optimizer could not produce a valid execution plan."""
+
+
+class IndexError_(ReproError):
+    """Base class for vector-index errors (named with a trailing underscore to
+    avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class IndexNotBuiltError(IndexError_):
+    """A search was issued against an index that has not been built yet."""
+
+
+class DimensionMismatchError(IndexError_):
+    """Vectors with an unexpected dimensionality were supplied."""
+
+
+class StorageError(ReproError):
+    """Base class for vector-file-system and buffer-manager errors."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block id was requested that is not present in the vector file."""
+
+
+class BufferPoolExhaustedError(StorageError):
+    """The buffer pool cannot evict enough blocks to satisfy a pin request."""
+
+
+class SimulatorError(ReproError):
+    """Base class for device-simulator errors."""
+
+
+class OutOfDeviceMemoryError(SimulatorError):
+    """An allocation exceeded the simulated device memory capacity."""
+
+
+class SLOViolationError(SimulatorError):
+    """Raised when an operation is required to meet an SLO but does not."""

@@ -1,0 +1,32 @@
+"""Vector index substrate: flat, fine-grained (graph) and coarse (block) indexes."""
+
+from .base import SearchResult, VectorIndex, validate_query
+from .builder import BuildReport, ContextIndexBuilder, IndexBuildConfig, LayerIndexes
+from .coarse import BlockSummary, CoarseBlockIndex
+from .flat import FlatIndex
+from .graph import BeamSearchStats, NeighborGraph, beam_search
+from .hnsw import HNSWIndex
+from .knn_graph import cross_knn, exact_knn, nn_descent_knn
+from .roargraph import RoarGraphConfig, RoarGraphIndex
+
+__all__ = [
+    "BeamSearchStats",
+    "BlockSummary",
+    "BuildReport",
+    "CoarseBlockIndex",
+    "ContextIndexBuilder",
+    "FlatIndex",
+    "HNSWIndex",
+    "IndexBuildConfig",
+    "LayerIndexes",
+    "NeighborGraph",
+    "RoarGraphConfig",
+    "RoarGraphIndex",
+    "SearchResult",
+    "VectorIndex",
+    "beam_search",
+    "cross_knn",
+    "exact_knn",
+    "nn_descent_knn",
+    "validate_query",
+]

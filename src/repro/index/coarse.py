@@ -1,0 +1,147 @@
+"""Coarse-grained block index (InfLLM / Quest style).
+
+Adjacent tokens are grouped into fixed-size blocks; each block is summarised
+by a small set of representative vectors.  At query time only the inner
+products between the query and the representatives are computed, the top
+blocks are selected, and *all* tokens of the selected blocks participate in
+attention.  This trades retrieval precision for very low retrieval latency
+and is the index the AlayaDB optimizer picks when the GPU memory budget is
+large (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SearchResult, VectorIndex, validate_query
+
+__all__ = ["BlockSummary", "CoarseBlockIndex"]
+
+
+@dataclass
+class BlockSummary:
+    """Representative vectors of one token block."""
+
+    block_id: int
+    start: int
+    stop: int
+    representatives: np.ndarray  # (num_representatives, dim)
+
+    @property
+    def num_tokens(self) -> int:
+        return self.stop - self.start
+
+    def score(self, query: np.ndarray) -> float:
+        """Block relevance = max inner product over its representatives."""
+        return float(np.max(self.representatives @ query))
+
+
+class CoarseBlockIndex(VectorIndex):
+    """Block index with mean + max-magnitude representatives per block.
+
+    ``num_representatives`` follows InfLLM: a handful of "semantic anchor"
+    vectors summarise the block.  Here the representatives are the block mean
+    plus the tokens with the largest vector norms, which approximates picking
+    the tokens most likely to maximise an inner product.
+    """
+
+    def __init__(self, block_size: int = 128, num_representatives: int = 4):
+        super().__init__()
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        self.num_representatives = max(1, num_representatives)
+        self._blocks: list[BlockSummary] = []
+        self._representative_matrix: np.ndarray | None = None
+        self._representative_block_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, **kwargs) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected (n, dim), got {vectors.shape}")
+        self._vectors = vectors
+        self._blocks = []
+        representatives = []
+        block_ids = []
+        for block_id, start in enumerate(range(0, vectors.shape[0], self.block_size)):
+            stop = min(start + self.block_size, vectors.shape[0])
+            block_vectors = vectors[start:stop]
+            reps = [block_vectors.mean(axis=0)]
+            norms = np.linalg.norm(block_vectors, axis=1)
+            num_extra = min(self.num_representatives - 1, block_vectors.shape[0])
+            if num_extra > 0:
+                top = np.argsort(-norms)[:num_extra]
+                reps.extend(block_vectors[top])
+            rep_matrix = np.stack(reps).astype(np.float32)
+            summary = BlockSummary(block_id=block_id, start=start, stop=stop, representatives=rep_matrix)
+            self._blocks.append(summary)
+            representatives.append(rep_matrix)
+            block_ids.extend([block_id] * rep_matrix.shape[0])
+        self._representative_matrix = np.concatenate(representatives, axis=0)
+        self._representative_block_ids = np.asarray(block_ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def blocks(self) -> list[BlockSummary]:
+        return self._blocks
+
+    @property
+    def memory_bytes(self) -> int:
+        """Blocks must be resident (typically on GPU): vectors + representatives."""
+        base = super().memory_bytes
+        if self._representative_matrix is not None:
+            base += int(self._representative_matrix.nbytes)
+        return base
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search_blocks(self, query: np.ndarray, num_blocks: int) -> list[BlockSummary]:
+        """Return the ``num_blocks`` most relevant blocks for ``query``."""
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        scores = self._representative_matrix @ query
+        block_scores = np.full(self.num_blocks, -np.inf, dtype=np.float32)
+        np.maximum.at(block_scores, self._representative_block_ids, scores)
+        num_blocks = min(num_blocks, self.num_blocks)
+        top = np.argsort(-block_scores)[:num_blocks]
+        return [self._blocks[int(b)] for b in top]
+
+    def search_topk(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+        """Token-level top-k limited to the most relevant blocks.
+
+        The selected blocks jointly contain at least ``k`` tokens; tokens are
+        then ranked exactly within them.
+        """
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        num_blocks = max(1, int(np.ceil(k / self.block_size)))
+        blocks = self.search_blocks(query, num_blocks)
+        positions = np.concatenate([np.arange(b.start, b.stop) for b in blocks])
+        scores = vectors[positions] @ query
+        distance_computations = int(self._representative_matrix.shape[0] + positions.shape[0])
+        k = min(k, positions.shape[0])
+        order = np.argsort(-scores)[:k]
+        return SearchResult(
+            indices=positions[order].astype(np.int64),
+            scores=scores[order].astype(np.float32),
+            num_distance_computations=distance_computations,
+        )
+
+    def selected_positions(self, query: np.ndarray, num_blocks: int) -> np.ndarray:
+        """All token positions of the top ``num_blocks`` blocks (InfLLM's retrieval)."""
+        blocks = self.search_blocks(query, num_blocks)
+        if not blocks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([np.arange(b.start, b.stop) for b in blocks]).astype(np.int64)

@@ -1,0 +1,81 @@
+"""Flat (scan) index.
+
+Scans every key to find critical tokens.  Less efficient than graph indexes
+when few critical tokens are needed, but sequential memory access makes it the
+better choice when many tokens must be returned — which is why the AlayaDB
+optimizer routes *layer 1* queries (which need a large number of critical
+tokens, see Figure 5 of the paper) to the flat index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SearchResult, VectorIndex, validate_query
+
+__all__ = ["FlatIndex"]
+
+
+class FlatIndex(VectorIndex):
+    """Brute-force inner-product index supporting top-k, range and filter queries."""
+
+    def build(self, vectors: np.ndarray, **kwargs) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected (n, dim) vectors, got shape {vectors.shape}")
+        self._vectors = vectors
+
+    def append(self, vectors: np.ndarray) -> None:
+        """Append new rows (used by late materialization of fresh tokens)."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if self._vectors is None:
+            self.build(vectors)
+            return
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+
+    def search_topk(self, query: np.ndarray, k: int, allowed: np.ndarray | None = None, **kwargs) -> SearchResult:
+        """Exact top-k by full scan.  ``allowed`` optionally masks positions."""
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        scores = vectors @ query
+        if allowed is not None:
+            scores = np.where(allowed, scores, -np.inf)
+        k = min(k, scores.shape[0])
+        order = np.argpartition(-scores, k - 1)[:k]
+        order = order[np.argsort(-scores[order])]
+        valid = np.isfinite(scores[order])
+        order = order[valid]
+        return SearchResult(
+            indices=order.astype(np.int64),
+            scores=scores[order].astype(np.float32),
+            num_distance_computations=int(vectors.shape[0]),
+        )
+
+    def search_range(
+        self, query: np.ndarray, beta: float, allowed: np.ndarray | None = None
+    ) -> SearchResult:
+        """Exact DIPR: all keys with ``q·k >= max(q·k) - beta`` (full scan).
+
+        This is the ground-truth DIPR result the graph-based DIPRS algorithm
+        approximates; it is also the execution path the optimizer selects for
+        the flat index.
+        """
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        scores = vectors @ query
+        if allowed is not None:
+            scores = np.where(allowed, scores, -np.inf)
+        if not np.isfinite(scores).any():
+            return SearchResult(
+                indices=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float32),
+                num_distance_computations=int(vectors.shape[0]),
+            )
+        threshold = scores.max() - beta
+        selected = np.flatnonzero(scores >= threshold)
+        order = selected[np.argsort(-scores[selected])]
+        return SearchResult(
+            indices=order.astype(np.int64),
+            scores=scores[order].astype(np.float32),
+            num_distance_computations=int(vectors.shape[0]),
+        )

@@ -1,0 +1,164 @@
+"""HNSW index for inner-product search.
+
+A standard hierarchical navigable small world graph: an exponentially thinning
+stack of layers used for greedy descent, and a beam search (``ef``) on the
+bottom layer.  AlayaDB uses graph indexes of this family as the fine-grained
+index type; RoarGraph (see ``roargraph.py``) is the variant specialised for
+out-of-distribution query workloads, but HNSW remains useful as a general
+fine-grained index and as a comparison point in the index-type benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SearchResult, VectorIndex, validate_query
+from .graph import NeighborGraph, beam_search
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex(VectorIndex):
+    """Hierarchical navigable small world graph under inner-product similarity."""
+
+    def __init__(self, max_degree: int = 16, ef_construction: int = 64, seed: int = 0):
+        super().__init__()
+        self.max_degree = max_degree
+        self.ef_construction = ef_construction
+        self.seed = seed
+        self._layers: list[dict[int, list[int]]] = []
+        self._entry_point: int = 0
+        self._node_levels: np.ndarray | None = None
+        self._bottom_graph: NeighborGraph | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, **kwargs) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected (n, dim), got {vectors.shape}")
+        self._vectors = vectors
+        n = vectors.shape[0]
+        rng = np.random.default_rng(self.seed)
+        level_multiplier = 1.0 / np.log(max(self.max_degree, 2))
+        self._node_levels = np.floor(-np.log(rng.random(n)) * level_multiplier).astype(np.int64)
+        max_level = int(self._node_levels.max()) if n else 0
+        self._layers = [dict() for _ in range(max_level + 1)]
+        self._entry_point = int(np.argmax(self._node_levels))
+
+        for node in range(n):
+            self._insert(node)
+        bottom = [self._layers[0].get(node, []) for node in range(n)]
+        self._bottom_graph = NeighborGraph.from_lists(bottom)
+
+    def _search_layer(self, query: np.ndarray, entry: int, ef: int, layer: int) -> list[tuple[float, int]]:
+        """Beam search restricted to one layer's adjacency dict."""
+        vectors = self._vectors
+        adjacency = self._layers[layer]
+        visited = {entry}
+        entry_score = float(vectors[entry] @ query)
+        candidates = [(entry_score, entry)]
+        results = [(entry_score, entry)]
+        while candidates:
+            best_idx = max(range(len(candidates)), key=lambda i: candidates[i][0])
+            score, node = candidates.pop(best_idx)
+            worst = min(results)[0] if len(results) >= ef else -np.inf
+            if score < worst and len(results) >= ef:
+                break
+            for neighbor in adjacency.get(node, []):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                neighbor_score = float(vectors[neighbor] @ query)
+                if len(results) < ef or neighbor_score > min(results)[0]:
+                    candidates.append((neighbor_score, neighbor))
+                    results.append((neighbor_score, neighbor))
+                    if len(results) > ef:
+                        results.remove(min(results))
+        return sorted(results, reverse=True)
+
+    def _select_neighbors(self, candidates: list[tuple[float, int]], m: int) -> list[int]:
+        return [node for _, node in sorted(candidates, reverse=True)[:m]]
+
+    def _insert(self, node: int) -> None:
+        level = int(self._node_levels[node])
+        query = self._vectors[node]
+        entry = self._entry_point
+        top_level = len(self._layers) - 1
+
+        if node == entry:
+            for layer in range(level + 1):
+                self._layers[layer].setdefault(node, [])
+            return
+
+        # greedy descent through the layers above the node's level
+        for layer in range(top_level, level, -1):
+            if not self._layers[layer]:
+                continue
+            found = self._search_layer(query, entry, 1, layer)
+            if found:
+                entry = found[0][1]
+
+        for layer in range(min(level, top_level), -1, -1):
+            if not self._layers[layer]:
+                self._layers[layer].setdefault(node, [])
+                continue
+            candidates = self._search_layer(query, entry, self.ef_construction, layer)
+            max_degree = self.max_degree if layer > 0 else self.max_degree * 2
+            neighbors = self._select_neighbors(candidates, max_degree)
+            self._layers[layer][node] = list(neighbors)
+            for neighbor in neighbors:
+                links = self._layers[layer].setdefault(neighbor, [])
+                links.append(node)
+                if len(links) > max_degree:
+                    scores = self._vectors[links] @ self._vectors[neighbor]
+                    order = np.argsort(-scores)[:max_degree]
+                    self._layers[layer][neighbor] = [links[i] for i in order]
+            if candidates:
+                entry = candidates[0][1]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    @property
+    def bottom_graph(self) -> NeighborGraph:
+        """The layer-0 graph in CSR form (consumed by DIPRS and filtered search)."""
+        if self._bottom_graph is None:
+            self._require_built()
+        return self._bottom_graph
+
+    @property
+    def entry_point(self) -> int:
+        return self._entry_point
+
+    @property
+    def memory_bytes(self) -> int:
+        base = super().memory_bytes
+        if self._bottom_graph is not None:
+            base += self._bottom_graph.memory_bytes
+        for layer in self._layers[1:]:
+            base += sum(4 * len(links) for links in layer.values())
+        return base
+
+    def descend(self, query: np.ndarray) -> int:
+        """Greedy descent through upper layers; returns the layer-0 entry point."""
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        entry = self._entry_point
+        for layer in range(len(self._layers) - 1, 0, -1):
+            if not self._layers[layer]:
+                continue
+            found = self._search_layer(query, entry, 1, layer)
+            if found:
+                entry = found[0][1]
+        return entry
+
+    def search_topk(self, query: np.ndarray, k: int, ef: int | None = None, **kwargs) -> SearchResult:
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        ef = max(ef or k * 4, k)
+        entry = self.descend(query)
+        indices, scores, stats = beam_search(vectors, self.bottom_graph, query, ef, [entry])
+        result = SearchResult(indices=indices, scores=scores, num_distance_computations=stats.num_distance_computations)
+        return result.top(k)

@@ -1,0 +1,212 @@
+"""RoarGraph: a projected bipartite graph index for OOD queries.
+
+RetrievalAttention (and AlayaDB) observed that decode-time query vectors are
+*out of distribution* with respect to the key vectors, so a graph built only
+from key-to-key proximity navigates poorly.  RoarGraph instead starts from a
+bipartite query→key kNN graph built from a sample of real query vectors and
+projects it onto the key side, then enhances connectivity.
+
+Construction stages (Section 7.2 of the paper):
+
+1. **q→k kNN construction** — each sampled query vector is linked to its
+   exact nearest key vectors (:func:`repro.index.knn_graph.cross_knn`).
+2. **Bipartite projection** — keys that co-occur in a query's neighbour list
+   are connected to each other, so edges reflect "keys that answer the same
+   query" rather than raw key proximity.
+3. **Connectivity enhancement** — a sequential backbone (token *i* ↔ *i±1*)
+   plus optional key-to-key kNN edges guarantee the graph is connected and
+   navigable even for keys no sampled query reached.
+
+The GQA-based index sharing and the GPU-accelerated build path live in
+``repro.index.builder``; this class is the single-index data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SearchResult, VectorIndex, validate_query
+from .graph import NeighborGraph, beam_search
+from .knn_graph import cross_knn, exact_knn
+
+__all__ = ["RoarGraphConfig", "RoarGraphIndex"]
+
+
+@dataclass(frozen=True)
+class RoarGraphConfig:
+    """Construction parameters of a RoarGraph index."""
+
+    num_query_links: int = 8
+    """How many keys each sampled query links to in the bipartite stage."""
+
+    max_degree: int = 32
+    """Maximum out-degree of a key node after projection and pruning."""
+
+    backbone_window: int = 1
+    """Each key is linked to its ``backbone_window`` sequential neighbours on
+    both sides, guaranteeing connectivity over the token sequence."""
+
+    enhancement_links: int = 8
+    """Extra (bidirectional) key-to-key kNN edges per node (0 disables the
+    enhancement pass)."""
+
+    diversity_prune: bool = True
+    """Apply angular-diversity pruning (robust prune) when a node exceeds
+    ``max_degree``: a candidate edge is dropped when an already-kept
+    neighbour is closer to the candidate than the node itself, which spreads
+    edges across the cluster instead of concentrating them on a few
+    high-norm hubs."""
+
+    seed: int = 0
+
+
+class RoarGraphIndex(VectorIndex):
+    """Fine-grained graph index specialised for out-of-distribution queries."""
+
+    def __init__(self, config: RoarGraphConfig | None = None):
+        super().__init__()
+        self.config = config or RoarGraphConfig()
+        self._graph: NeighborGraph | None = None
+        self._entry_point: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray, query_sample: np.ndarray | None = None, **kwargs) -> None:
+        """Build the index over key ``vectors`` using ``query_sample``.
+
+        ``query_sample`` holds historical query vectors of the same head (or
+        head group, when GQA index sharing is enabled); when omitted, the key
+        vectors themselves are used, which degrades the OOD benefit but keeps
+        the index functional.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected (n, dim) key vectors, got {vectors.shape}")
+        self._vectors = vectors
+        n = vectors.shape[0]
+        config = self.config
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+
+        # stage 1 + 2: bipartite q->k kNN, projected onto the key side
+        if query_sample is None or len(query_sample) == 0:
+            query_sample = vectors
+        query_sample = np.asarray(query_sample, dtype=np.float32)
+        links = cross_knn(query_sample, vectors, min(config.num_query_links, n))
+        for neighbor_list in links:
+            anchor = int(neighbor_list[0])
+            for other in neighbor_list[1:]:
+                other = int(other)
+                adjacency[anchor].add(other)
+                adjacency[other].add(anchor)
+
+        # stage 3a: sequential backbone for connectivity
+        for node in range(n):
+            for offset in range(1, config.backbone_window + 1):
+                if node + offset < n:
+                    adjacency[node].add(node + offset)
+                    adjacency[node + offset].add(node)
+
+        # stage 3b: key-to-key kNN enhancement (bidirectional edges)
+        if config.enhancement_links > 0 and n > 1:
+            knn = exact_knn(vectors, min(config.enhancement_links, n - 1))
+            for node in range(n):
+                for neighbor in knn[node]:
+                    adjacency[node].add(int(neighbor))
+                    adjacency[int(neighbor)].add(node)
+
+        # prune to max_degree
+        pruned: list[list[int]] = []
+        for node in range(n):
+            neighbors = np.fromiter(adjacency[node], dtype=np.int64, count=len(adjacency[node]))
+            if neighbors.shape[0] > config.max_degree:
+                neighbors = self._prune_neighbors(vectors, node, neighbors)
+            pruned.append([int(x) for x in neighbors])
+        self._graph = NeighborGraph.from_lists(pruned)
+
+        # the entry point is the key with the largest norm: under inner
+        # product it is the most likely global maximiser and gives the search
+        # a high-score start.
+        norms = np.linalg.norm(vectors, axis=1)
+        self._entry_point = int(np.argmax(norms))
+
+    def _prune_neighbors(self, vectors: np.ndarray, node: int, neighbors: np.ndarray) -> np.ndarray:
+        """Reduce a node's candidate edges to ``max_degree``.
+
+        With ``diversity_prune`` enabled this is the robust-prune rule used by
+        NSG/DiskANN-style graphs: walk the candidates in descending
+        inner-product order and drop a candidate when an already-kept
+        neighbour is closer to it than the node itself.  Otherwise simply keep
+        the ``max_degree`` highest-inner-product candidates.
+        """
+        config = self.config
+        scores = vectors[neighbors] @ vectors[node]
+        order = np.argsort(-scores)
+        if not config.diversity_prune:
+            return neighbors[order[: config.max_degree]]
+        kept: list[int] = []
+        skipped: list[int] = []
+        for position in order:
+            candidate = int(neighbors[position])
+            if len(kept) >= config.max_degree:
+                break
+            candidate_to_node = float(scores[position])
+            diverse = True
+            for existing in kept:
+                if float(vectors[candidate] @ vectors[existing]) > candidate_to_node:
+                    diverse = False
+                    break
+            if diverse:
+                kept.append(candidate)
+            else:
+                skipped.append(candidate)
+        for candidate in skipped:
+            if len(kept) >= config.max_degree:
+                break
+            kept.append(candidate)
+        return np.asarray(kept, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> NeighborGraph:
+        if self._graph is None:
+            self._require_built()
+        return self._graph
+
+    @property
+    def entry_point(self) -> int:
+        return self._entry_point
+
+    @property
+    def memory_bytes(self) -> int:
+        base = super().memory_bytes
+        if self._graph is not None:
+            base += self._graph.memory_bytes
+        return base
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search_topk(self, query: np.ndarray, k: int, ef: int | None = None, **kwargs) -> SearchResult:
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        ef = max(ef or k * 4, k)
+        indices, scores, stats = beam_search(vectors, self.graph, query, ef, [self._entry_point])
+        result = SearchResult(indices=indices, scores=scores, num_distance_computations=stats.num_distance_computations)
+        return result.top(k)
+
+    def recall_at_k(self, queries: np.ndarray, k: int, ef: int | None = None) -> float:
+        """Mean top-k recall of the graph search against brute force."""
+        queries = np.asarray(queries, dtype=np.float32)
+        hits = 0
+        total = 0
+        for query in queries:
+            truth = set(self.exact_topk(query, k).indices.tolist())
+            found = set(self.search_topk(query, k, ef=ef).indices.tolist())
+            hits += len(truth & found)
+            total += len(truth)
+        return hits / max(total, 1)

@@ -1,0 +1,33 @@
+"""KV cache management substrate (Section 2/3 of the paper)."""
+
+from .cache import DynamicCache, KVCacheProtocol, LayerKVCache, NativeAttentionCache
+from .compression import (
+    CompressedKV,
+    QuantizedTensor,
+    compress_kv,
+    decompress_kv,
+    dequantize_tensor,
+    quantize_tensor,
+)
+from .paged import PagedKVCache, PagedLayerCache, PageTable
+from .serialization import KVSnapshot, load_snapshot, save_snapshot, snapshot_from_cache
+
+__all__ = [
+    "CompressedKV",
+    "DynamicCache",
+    "KVCacheProtocol",
+    "KVSnapshot",
+    "LayerKVCache",
+    "NativeAttentionCache",
+    "PageTable",
+    "PagedKVCache",
+    "PagedLayerCache",
+    "QuantizedTensor",
+    "compress_kv",
+    "decompress_kv",
+    "dequantize_tensor",
+    "load_snapshot",
+    "quantize_tensor",
+    "save_snapshot",
+    "snapshot_from_cache",
+]

@@ -1,0 +1,152 @@
+"""Paged KV cache (vLLM-style), used by the coupled-architecture baseline.
+
+Tokens are stored in fixed-size pages so memory grows in page granularity and
+pages of evicted contexts can be recycled.  AlayaDB itself does not page the
+KV cache (it indexes it), but the paged cache is part of the coupled baseline
+the paper compares against and of the LRU context-reuse behaviour described
+in Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["PageTable", "PagedLayerCache", "PagedKVCache"]
+
+
+@dataclass
+class PageTable:
+    """Logical-token → (page id, slot) mapping for one sequence."""
+
+    page_size: int
+    pages: list[int]
+    length: int = 0
+
+    def locate(self, position: int) -> tuple[int, int]:
+        """Return (page id, slot within page) for a token position."""
+        if position < 0 or position >= self.length:
+            raise IndexError(f"position {position} out of range (length={self.length})")
+        return self.pages[position // self.page_size], position % self.page_size
+
+
+class PagedLayerCache:
+    """Paged storage of K/V for one layer."""
+
+    def __init__(self, num_kv_heads: int, head_dim: int, page_size: int = 64, initial_pages: int = 4):
+        if page_size <= 0:
+            raise ConfigError(f"page_size must be positive, got {page_size}")
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.page_size = page_size
+        self._key_pages: list[np.ndarray] = []
+        self._value_pages: list[np.ndarray] = []
+        self._free_pages: list[int] = []
+        self.table = PageTable(page_size=page_size, pages=[])
+        for _ in range(initial_pages):
+            self._allocate_page()
+            self._free_pages.append(len(self._key_pages) - 1)
+
+    # ------------------------------------------------------------------
+    # page management
+    # ------------------------------------------------------------------
+    def _allocate_page(self) -> int:
+        page = np.zeros((self.num_kv_heads, self.page_size, self.head_dim), dtype=np.float32)
+        self._key_pages.append(page)
+        self._value_pages.append(np.zeros_like(page))
+        return len(self._key_pages) - 1
+
+    def _acquire_page(self) -> int:
+        if self._free_pages:
+            return self._free_pages.pop()
+        return self._allocate_page()
+
+    @property
+    def num_pages_in_use(self) -> int:
+        return len(self.table.pages)
+
+    @property
+    def num_pages_total(self) -> int:
+        return len(self._key_pages)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes allocated for all pages (K and V)."""
+        return sum(p.nbytes for p in self._key_pages) + sum(p.nbytes for p in self._value_pages)
+
+    def __len__(self) -> int:
+        return self.table.length
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``(num_kv_heads, n, head_dim)`` keys and values."""
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if k.shape != v.shape or k.shape[0] != self.num_kv_heads or k.shape[2] != self.head_dim:
+            raise ValueError(f"unexpected KV shape {k.shape}")
+        for i in range(k.shape[1]):
+            position = self.table.length
+            slot = position % self.page_size
+            if slot == 0:
+                self.table.pages.append(self._acquire_page())
+            page_id = self.table.pages[-1]
+            self._key_pages[page_id][:, slot, :] = k[:, i, :]
+            self._value_pages[page_id][:, slot, :] = v[:, i, :]
+            self.table.length += 1
+
+    def gather(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise keys/values for arbitrary positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        keys = np.empty((self.num_kv_heads, positions.shape[0], self.head_dim), dtype=np.float32)
+        values = np.empty_like(keys)
+        for out_idx, position in enumerate(positions):
+            page_id, slot = self.table.locate(int(position))
+            keys[:, out_idx, :] = self._key_pages[page_id][:, slot, :]
+            values[:, out_idx, :] = self._value_pages[page_id][:, slot, :]
+        return keys, values
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise the full contiguous K/V tensors."""
+        return self.gather(np.arange(self.table.length))
+
+    def release(self) -> None:
+        """Return all pages of this sequence to the free list."""
+        self._free_pages.extend(self.table.pages)
+        self.table = PageTable(page_size=self.page_size, pages=[])
+
+
+class PagedKVCache:
+    """Multi-layer paged KV cache implementing the model's cache protocol."""
+
+    def __init__(self, page_size: int = 64):
+        self.page_size = page_size
+        self._layers: dict[int, PagedLayerCache] = {}
+
+    def update(self, k: np.ndarray, v: np.ndarray, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        k = np.asarray(k, dtype=np.float32)
+        store = self._layers.get(layer)
+        if store is None:
+            store = PagedLayerCache(k.shape[0], k.shape[2], self.page_size)
+            self._layers[layer] = store
+        store.append(k, v)
+        return store.materialize()
+
+    def sequence_length(self, layer: int = 0) -> int:
+        store = self._layers.get(layer)
+        return len(store) if store is not None else 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(store.nbytes for store in self._layers.values())
+
+    def layer(self, layer: int) -> PagedLayerCache | None:
+        return self._layers.get(layer)
+
+    def release(self) -> None:
+        for store in self._layers.values():
+            store.release()

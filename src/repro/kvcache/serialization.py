@@ -1,0 +1,109 @@
+"""Serialisation of KV caches to and from disk.
+
+``DB.import`` / ``DB.store`` persist contexts (prompt tokens + KV cache) so
+they can be reused across sessions and across process restarts.  The format is
+a single ``.npz`` archive per context plus a small JSON header, which keeps
+loading dependency-free and memory-mappable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StorageError
+from .cache import DynamicCache
+
+__all__ = ["KVSnapshot", "snapshot_from_cache", "save_snapshot", "load_snapshot"]
+
+
+@dataclass
+class KVSnapshot:
+    """An immutable picture of a context: tokens plus per-layer KV tensors."""
+
+    tokens: list[int]
+    keys: dict[int, np.ndarray] = field(default_factory=dict)
+    values: dict[int, np.ndarray] = field(default_factory=dict)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.keys)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(k.nbytes for k in self.keys.values()) + sum(v.nbytes for v in self.values.values())
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``StorageError`` on mismatch."""
+        if set(self.keys) != set(self.values):
+            raise StorageError("snapshot keys and values cover different layers")
+        for layer, key_tensor in self.keys.items():
+            value_tensor = self.values[layer]
+            if key_tensor.shape != value_tensor.shape:
+                raise StorageError(
+                    f"layer {layer}: key shape {key_tensor.shape} != value shape {value_tensor.shape}"
+                )
+            if key_tensor.shape[1] != self.num_tokens:
+                raise StorageError(
+                    f"layer {layer}: {key_tensor.shape[1]} cached tokens but {self.num_tokens} prompt tokens"
+                )
+
+
+def snapshot_from_cache(tokens: list[int], cache: DynamicCache) -> KVSnapshot:
+    """Build a snapshot from a filled ``DynamicCache``."""
+    keys = {layer: cache.keys(layer).copy() for layer in range(cache.num_layers)}
+    values = {layer: cache.values(layer).copy() for layer in range(cache.num_layers)}
+    snapshot = KVSnapshot(tokens=list(tokens), keys=keys, values=values)
+    snapshot.validate()
+    return snapshot
+
+
+def save_snapshot(snapshot: KVSnapshot, directory: str | Path, name: str) -> Path:
+    """Persist ``snapshot`` under ``directory/name`` and return the data path."""
+    snapshot.validate()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {"tokens": np.asarray(snapshot.tokens, dtype=np.int64)}
+    for layer, key_tensor in snapshot.keys.items():
+        arrays[f"key_{layer}"] = key_tensor
+        arrays[f"value_{layer}"] = snapshot.values[layer]
+    data_path = directory / f"{name}.npz"
+    np.savez_compressed(data_path, **arrays)
+    header = {
+        "name": name,
+        "num_tokens": snapshot.num_tokens,
+        "num_layers": snapshot.num_layers,
+        "metadata": snapshot.metadata,
+    }
+    (directory / f"{name}.json").write_text(json.dumps(header, indent=2))
+    return data_path
+
+
+def load_snapshot(directory: str | Path, name: str) -> KVSnapshot:
+    """Load a snapshot persisted by :func:`save_snapshot`."""
+    directory = Path(directory)
+    data_path = directory / f"{name}.npz"
+    header_path = directory / f"{name}.json"
+    if not data_path.exists():
+        raise StorageError(f"snapshot data not found: {data_path}")
+    header = json.loads(header_path.read_text()) if header_path.exists() else {}
+    with np.load(data_path) as archive:
+        tokens = [int(t) for t in archive["tokens"]]
+        keys: dict[int, np.ndarray] = {}
+        values: dict[int, np.ndarray] = {}
+        for array_name in archive.files:
+            if array_name.startswith("key_"):
+                keys[int(array_name[4:])] = archive[array_name]
+            elif array_name.startswith("value_"):
+                values[int(array_name[6:])] = archive[array_name]
+    snapshot = KVSnapshot(tokens=tokens, keys=keys, values=values, metadata=header.get("metadata", {}))
+    snapshot.validate()
+    return snapshot

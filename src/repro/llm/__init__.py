@@ -1,0 +1,55 @@
+"""NumPy LLM inference substrate (Section 2 of the paper).
+
+Public surface: a decoder-only GQA transformer, exact attention kernels with
+flash-attention-style partial merging, a byte-level tokenizer and a two-phase
+(prefill/decode) generation loop.
+"""
+
+from .attention import (
+    PartialAttention,
+    attention_logits,
+    attention_weights,
+    decode_attention,
+    full_attention,
+    merge_partial_attention,
+    partial_attention,
+    repeat_kv,
+    softmax,
+    sparse_attention,
+)
+from .generation import GenerationLoop, GenerationResult, generate
+from .layers import Embedding, Linear, RMSNorm, SwiGLU
+from .model import ModelConfig, TransformerLayer, TransformerModel
+from .rope import RotaryEmbedding, apply_rotary
+from .sampling import SamplingConfig, greedy, sample_token
+from .tokenizer import ByteTokenizer, SpecialTokens
+
+__all__ = [
+    "ByteTokenizer",
+    "Embedding",
+    "GenerationLoop",
+    "GenerationResult",
+    "Linear",
+    "ModelConfig",
+    "PartialAttention",
+    "RMSNorm",
+    "RotaryEmbedding",
+    "SamplingConfig",
+    "SpecialTokens",
+    "SwiGLU",
+    "TransformerLayer",
+    "TransformerModel",
+    "apply_rotary",
+    "attention_logits",
+    "attention_weights",
+    "decode_attention",
+    "full_attention",
+    "generate",
+    "greedy",
+    "merge_partial_attention",
+    "partial_attention",
+    "repeat_kv",
+    "sample_token",
+    "softmax",
+    "sparse_attention",
+]

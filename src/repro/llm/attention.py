@@ -1,0 +1,222 @@
+"""Exact attention kernels and the partial-attention merge.
+
+This module is the NumPy equivalent of the flash-attention kernels used by
+the paper.  It provides:
+
+* numerically-stable softmax and full (causal) attention,
+* single-query decode attention (the hot path during token generation),
+* *partial attention*: attention restricted to a subset of keys, returned
+  together with its log-sum-exp statistics so that several partial results
+  computed on different devices (GPU window cache vs CPU-resident index
+  blocks) can be merged exactly — the "data-centric attention engine" of
+  Section 7.2 of the paper,
+* sparse attention over an explicit list of selected token indices.
+
+All kernels operate on ``float32`` arrays.  Shapes follow the convention
+``(num_heads, seq_len, head_dim)`` for K/V and ``(num_heads, head_dim)`` or
+``(num_heads, seq_q, head_dim)`` for queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "attention_logits",
+    "attention_weights",
+    "full_attention",
+    "decode_attention",
+    "sparse_attention",
+    "PartialAttention",
+    "partial_attention",
+    "merge_partial_attention",
+    "repeat_kv",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def repeat_kv(kv: np.ndarray, num_query_heads: int) -> np.ndarray:
+    """Expand grouped key/value heads to match the number of query heads.
+
+    ``kv`` has shape ``(num_kv_heads, seq, head_dim)``.  With GQA each KV head
+    serves ``num_query_heads // num_kv_heads`` query heads.
+    """
+    num_kv_heads = kv.shape[0]
+    if num_query_heads == num_kv_heads:
+        return kv
+    if num_query_heads % num_kv_heads != 0:
+        raise ValueError(
+            f"num_query_heads={num_query_heads} is not a multiple of num_kv_heads={num_kv_heads}"
+        )
+    group = num_query_heads // num_kv_heads
+    return np.repeat(kv, group, axis=0)
+
+
+def attention_logits(q: np.ndarray, k: np.ndarray, scale: float | None = None) -> np.ndarray:
+    """Pre-softmax attention logits ``q @ k^T / sqrt(d)``.
+
+    ``q``: ``(..., seq_q, d)``; ``k``: ``(..., seq_k, d)``.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    return np.matmul(q, np.swapaxes(k, -1, -2)) * np.float32(scale)
+
+
+def attention_weights(
+    q: np.ndarray, k: np.ndarray, scale: float | None = None, causal: bool = False
+) -> np.ndarray:
+    """Softmax attention weights, optionally with a causal mask."""
+    logits = attention_logits(q, k, scale)
+    if causal:
+        seq_q, seq_k = logits.shape[-2], logits.shape[-1]
+        offset = seq_k - seq_q
+        mask = np.triu(np.ones((seq_q, seq_k), dtype=bool), k=offset + 1)
+        logits = np.where(mask, np.float32(-np.inf), logits)
+    return softmax(logits, axis=-1)
+
+
+def full_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Exact multi-head attention.
+
+    ``q``: ``(h, seq_q, d)``; ``k``/``v``: ``(h_kv, seq_k, d)`` where ``h_kv``
+    divides ``h`` (GQA).  Returns ``(h, seq_q, d)``.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = repeat_kv(np.asarray(k, dtype=np.float32), q.shape[0])
+    v = repeat_kv(np.asarray(v, dtype=np.float32), q.shape[0])
+    weights = attention_weights(q, k, scale=scale, causal=causal)
+    return np.matmul(weights, v)
+
+
+def decode_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Single-token decode attention.
+
+    ``q``: ``(h, d)``; ``k``/``v``: ``(h_kv, seq, d)``.  Returns ``(h, d)``.
+    The query attends to every cached key (no mask is needed because all
+    cached positions precede the query).
+    """
+    q3 = np.asarray(q, dtype=np.float32)[:, None, :]
+    out = full_attention(q3, k, v, causal=False, scale=scale)
+    return out[:, 0, :]
+
+
+def sparse_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    selected: np.ndarray,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Decode attention restricted to ``selected`` token indices.
+
+    ``selected`` is a 1-D integer array of token positions; the same subset is
+    used for every head.  Returns ``(h, d)``.
+    """
+    selected = np.asarray(selected, dtype=np.int64)
+    return decode_attention(q, k[:, selected, :], v[:, selected, :], scale=scale)
+
+
+@dataclass
+class PartialAttention:
+    """Attention over a subset of keys plus its softmax statistics.
+
+    ``output`` is the *normalised* attention output over the subset,
+    ``max_logit`` the per-head maximum pre-softmax logit and ``sum_exp`` the
+    per-head sum of ``exp(logit - max_logit)``.  Two partials can be merged
+    exactly with :func:`merge_partial_attention` — the same decomposition
+    flash-attention uses across KV blocks.
+    """
+
+    output: np.ndarray  # (h, d)
+    max_logit: np.ndarray  # (h,)
+    sum_exp: np.ndarray  # (h,)
+
+    @property
+    def num_heads(self) -> int:
+        return int(self.output.shape[0])
+
+    @classmethod
+    def empty(cls, num_heads: int, head_dim: int) -> "PartialAttention":
+        """A neutral element for the merge (attends to nothing)."""
+        return cls(
+            output=np.zeros((num_heads, head_dim), dtype=np.float32),
+            max_logit=np.full((num_heads,), -np.inf, dtype=np.float32),
+            sum_exp=np.zeros((num_heads,), dtype=np.float32),
+        )
+
+    def is_empty(self) -> bool:
+        return bool(np.all(np.isneginf(self.max_logit)))
+
+
+def partial_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+) -> PartialAttention:
+    """Compute decode attention over a KV subset, keeping merge statistics.
+
+    ``q``: ``(h, d)``; ``k``/``v``: ``(h_kv, m, d)``.  An empty subset
+    (``m == 0``) yields the neutral element.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    num_heads, head_dim = q.shape
+    if k.shape[1] == 0:
+        return PartialAttention.empty(num_heads, head_dim)
+    if scale is None:
+        scale = 1.0 / np.sqrt(head_dim)
+    k = repeat_kv(np.asarray(k, dtype=np.float32), num_heads)
+    v = repeat_kv(np.asarray(v, dtype=np.float32), num_heads)
+    logits = np.einsum("hd,hmd->hm", q, k) * np.float32(scale)
+    max_logit = logits.max(axis=1)
+    exps = np.exp(logits - max_logit[:, None])
+    sum_exp = exps.sum(axis=1)
+    output = np.einsum("hm,hmd->hd", exps, v) / sum_exp[:, None]
+    return PartialAttention(output=output.astype(np.float32), max_logit=max_logit, sum_exp=sum_exp)
+
+
+def merge_partial_attention(parts: list[PartialAttention]) -> np.ndarray:
+    """Merge partial attentions computed over disjoint KV subsets.
+
+    Returns the exact attention output ``(h, d)`` as if a single softmax had
+    been computed over the union of the subsets.  Raises ``ValueError`` when
+    no non-empty partial is supplied.
+    """
+    parts = [p for p in parts if not p.is_empty()]
+    if not parts:
+        raise ValueError("cannot merge an empty list of partial attentions")
+    if len(parts) == 1:
+        return parts[0].output.copy()
+
+    global_max = np.max(np.stack([p.max_logit for p in parts], axis=0), axis=0)
+    total_weight = np.zeros_like(parts[0].sum_exp)
+    accumulated = np.zeros_like(parts[0].output)
+    for part in parts:
+        correction = np.exp(part.max_logit - global_max)
+        weight = part.sum_exp * correction
+        accumulated += part.output * weight[:, None]
+        total_weight += weight
+    return (accumulated / total_weight[:, None]).astype(np.float32)

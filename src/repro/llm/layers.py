@@ -1,0 +1,104 @@
+"""Building blocks of the NumPy transformer: RMSNorm, Linear, SwiGLU MLP.
+
+Weights are initialised from a seeded :class:`numpy.random.Generator` so that
+every run of the substrate is deterministic — a requirement for reproducible
+quality measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Linear", "RMSNorm", "SwiGLU", "Embedding"]
+
+
+class Linear:
+    """A dense projection ``y = x @ W^T`` without bias (Llama convention)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = rng.normal(0.0, scale, size=(out_features, in_features)).astype(np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float32) @ self.weight.T
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.weight.size)
+
+    @property
+    def num_bytes(self) -> int:
+        return int(self.weight.nbytes)
+
+
+class Embedding:
+    """Token-id to vector lookup table."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = rng.normal(0.0, 0.02, size=(vocab_size, dim)).astype(np.float32)
+
+    def __call__(self, token_ids: np.ndarray) -> np.ndarray:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        return self.weight[token_ids]
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.weight.size)
+
+    @property
+    def num_bytes(self) -> int:
+        return int(self.weight.nbytes)
+
+
+class RMSNorm:
+    """Root-mean-square layer norm (no mean subtraction, learned gain)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        self.dim = dim
+        self.eps = eps
+        self.weight = np.ones(dim, dtype=np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        variance = np.mean(x * x, axis=-1, keepdims=True)
+        return x / np.sqrt(variance + self.eps) * self.weight
+
+    @property
+    def num_parameters(self) -> int:
+        return int(self.weight.size)
+
+    @property
+    def num_bytes(self) -> int:
+        return int(self.weight.nbytes)
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+class SwiGLU:
+    """The gated feed-forward network used by Llama-family models."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator):
+        self.gate_proj = Linear(dim, hidden_dim, rng)
+        self.up_proj = Linear(dim, hidden_dim, rng)
+        self.down_proj = Linear(hidden_dim, dim, rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.down_proj(_silu(self.gate_proj(x)) * self.up_proj(x))
+
+    @property
+    def num_parameters(self) -> int:
+        return (
+            self.gate_proj.num_parameters
+            + self.up_proj.num_parameters
+            + self.down_proj.num_parameters
+        )
+
+    @property
+    def num_bytes(self) -> int:
+        return self.gate_proj.num_bytes + self.up_proj.num_bytes + self.down_proj.num_bytes

@@ -1,0 +1,283 @@
+"""A from-scratch NumPy decoder-only transformer with GQA.
+
+This is the substrate that replaces Llama-3-8B-Instruct-262k in the paper's
+experiments (see DESIGN.md, substitution table).  Architecturally it mirrors
+Llama: RMSNorm → GQA self-attention with RoPE → RMSNorm → SwiGLU, residual
+connections around both, tied to a byte-level vocabulary.  Weights are drawn
+from a seeded RNG so runs are deterministic.
+
+The attention layer supports two cache styles:
+
+* a plain :class:`~repro.kvcache.cache.DynamicCache` — the model materialises
+  the full K/V tensors and runs exact attention (coupled architecture);
+* a :class:`~repro.kvcache.cache.NativeAttentionCache` such as an AlayaDB
+  ``Session`` — the model hands Q/K/V to the cache and receives the attention
+  output back, never touching the KV tensors (decoupled architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kvcache.cache import DynamicCache, KVCacheProtocol
+from .attention import full_attention
+from .layers import Embedding, Linear, RMSNorm, SwiGLU
+from .rope import RotaryEmbedding
+
+__all__ = ["ModelConfig", "TransformerLayer", "TransformerModel"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of the NumPy transformer substrate.
+
+    The defaults describe a small model that runs comfortably on CPU while
+    keeping the same head structure ratios as Llama-3-8B (query heads a
+    multiple of KV heads, even head dimension for RoPE).
+    """
+
+    vocab_size: int = 259
+    dim: int = 64
+    num_layers: int = 4
+    num_query_heads: int = 8
+    num_kv_heads: int = 2
+    hidden_dim: int = 128
+    max_positions: int = 8192
+    rope_base: float = 10000.0
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_query_heads != 0:
+            raise ConfigError(
+                f"dim={self.dim} must be divisible by num_query_heads={self.num_query_heads}"
+            )
+        if self.num_query_heads % self.num_kv_heads != 0:
+            raise ConfigError(
+                f"num_query_heads={self.num_query_heads} must be a multiple of "
+                f"num_kv_heads={self.num_kv_heads}"
+            )
+        if (self.dim // self.num_query_heads) % 2 != 0:
+            raise ConfigError("head_dim must be even for rotary embeddings")
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.num_query_heads
+
+    @property
+    def gqa_group_size(self) -> int:
+        """Number of query heads sharing one KV head."""
+        return self.num_query_heads // self.num_kv_heads
+
+    @classmethod
+    def tiny(cls, seed: int = 1234) -> "ModelConfig":
+        """A minimal configuration for fast unit tests."""
+        return cls(dim=32, num_layers=2, num_query_heads=4, num_kv_heads=2, hidden_dim=64, seed=seed)
+
+    @classmethod
+    def llama_like(cls, seed: int = 1234) -> "ModelConfig":
+        """A configuration with Llama-3-8B's head structure at reduced width.
+
+        32 query heads and 8 KV heads per layer (the real ratios), 8 layers
+        instead of 32 and head_dim 16 instead of 128 to stay CPU-friendly.
+        """
+        return cls(
+            dim=512,
+            num_layers=8,
+            num_query_heads=32,
+            num_kv_heads=8,
+            hidden_dim=1024,
+            seed=seed,
+        )
+
+
+@dataclass
+class LayerActivations:
+    """Per-layer Q/K/V captured during a forward pass (for analysis)."""
+
+    layer: int
+    queries: np.ndarray  # (num_query_heads, seq, head_dim)
+    keys: np.ndarray  # (num_kv_heads, seq, head_dim)
+    values: np.ndarray  # (num_kv_heads, seq, head_dim)
+
+
+class TransformerLayer:
+    """One decoder block: attention + feed-forward with pre-norm residuals."""
+
+    def __init__(self, config: ModelConfig, layer_index: int, rng: np.random.Generator):
+        self.config = config
+        self.layer_index = layer_index
+        dim, head_dim = config.dim, config.head_dim
+        self.input_norm = RMSNorm(dim)
+        self.post_attention_norm = RMSNorm(dim)
+        self.q_proj = Linear(dim, config.num_query_heads * head_dim, rng)
+        self.k_proj = Linear(dim, config.num_kv_heads * head_dim, rng)
+        self.v_proj = Linear(dim, config.num_kv_heads * head_dim, rng)
+        self.o_proj = Linear(config.num_query_heads * head_dim, dim, rng)
+        self.mlp = SwiGLU(dim, config.hidden_dim, rng)
+
+    def project_qkv(
+        self, hidden: np.ndarray, rope: RotaryEmbedding, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project the (normalised) hidden states into rotated Q/K and V.
+
+        ``hidden``: ``(seq, dim)``.  Returns arrays shaped
+        ``(heads, seq, head_dim)``.
+        """
+        config = self.config
+        seq_len = hidden.shape[0]
+        head_dim = config.head_dim
+        q = self.q_proj(hidden).reshape(seq_len, config.num_query_heads, head_dim)
+        k = self.k_proj(hidden).reshape(seq_len, config.num_kv_heads, head_dim)
+        v = self.v_proj(hidden).reshape(seq_len, config.num_kv_heads, head_dim)
+        q = np.transpose(q, (1, 0, 2))
+        k = np.transpose(k, (1, 0, 2))
+        v = np.transpose(v, (1, 0, 2))
+        q = rope.rotate(q, positions)
+        k = rope.rotate(k, positions)
+        return q.astype(np.float32), k.astype(np.float32), v.astype(np.float32)
+
+    def __call__(
+        self,
+        hidden: np.ndarray,
+        cache: KVCacheProtocol,
+        rope: RotaryEmbedding,
+        positions: np.ndarray,
+        capture: list[LayerActivations] | None = None,
+    ) -> np.ndarray:
+        """Run the block over ``hidden`` of shape ``(seq, dim)``."""
+        config = self.config
+        normed = self.input_norm(hidden)
+        q, k, v = self.project_qkv(normed, rope, positions)
+        if capture is not None:
+            capture.append(LayerActivations(self.layer_index, q.copy(), k.copy(), v.copy()))
+
+        if hasattr(cache, "attention"):
+            # Decoupled path: the cache (AlayaDB Session or a baseline) owns
+            # the KV data and returns the attention output directly.
+            cache.update_query(q, k, v, self.layer_index)
+            attn = cache.attention(q, self.layer_index)
+        else:
+            full_k, full_v = cache.update(k, v, self.layer_index)
+            attn = full_attention(q, full_k, full_v, causal=True)
+
+        seq_len = hidden.shape[0]
+        attn = np.transpose(attn, (1, 0, 2)).reshape(seq_len, config.num_query_heads * config.head_dim)
+        hidden = hidden + self.o_proj(attn)
+        hidden = hidden + self.mlp(self.post_attention_norm(hidden))
+        return hidden
+
+    @property
+    def num_parameters(self) -> int:
+        return (
+            self.q_proj.num_parameters
+            + self.k_proj.num_parameters
+            + self.v_proj.num_parameters
+            + self.o_proj.num_parameters
+            + self.mlp.num_parameters
+            + self.input_norm.num_parameters
+            + self.post_attention_norm.num_parameters
+        )
+
+    @property
+    def num_bytes(self) -> int:
+        return (
+            self.q_proj.num_bytes
+            + self.k_proj.num_bytes
+            + self.v_proj.num_bytes
+            + self.o_proj.num_bytes
+            + self.mlp.num_bytes
+            + self.input_norm.num_bytes
+            + self.post_attention_norm.num_bytes
+        )
+
+
+class TransformerModel:
+    """The decoder-only model: embeddings, a stack of layers, an LM head."""
+
+    def __init__(self, config: ModelConfig | None = None):
+        self.config = config or ModelConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.embedding = Embedding(self.config.vocab_size, self.config.dim, rng)
+        self.layers = [TransformerLayer(self.config, i, rng) for i in range(self.config.num_layers)]
+        self.final_norm = RMSNorm(self.config.dim)
+        self.lm_head = Linear(self.config.dim, self.config.vocab_size, rng)
+        self.rope = RotaryEmbedding(self.config.head_dim, self.config.max_positions, self.config.rope_base)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        token_ids: np.ndarray | list[int],
+        cache: KVCacheProtocol | None = None,
+        capture_activations: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, list[LayerActivations]]:
+        """Run a forward pass over ``token_ids`` using/extending ``cache``.
+
+        Returns logits of shape ``(seq, vocab_size)``; when
+        ``capture_activations`` is set, also returns the per-layer Q/K/V of
+        this pass (used by the analysis tooling to study attention sparsity).
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ValueError(f"token_ids must be 1-D, got shape {token_ids.shape}")
+        if cache is None:
+            cache = DynamicCache()
+        start = cache.sequence_length(0)
+        positions = np.arange(start, start + token_ids.shape[0], dtype=np.int64)
+
+        hidden = self.embedding(token_ids)
+        captured: list[LayerActivations] = []
+        capture = captured if capture_activations else None
+        for layer in self.layers:
+            hidden = layer(hidden, cache, self.rope, positions, capture)
+        hidden = self.final_norm(hidden)
+        logits = self.lm_head(hidden)
+        if capture_activations:
+            return logits, captured
+        return logits
+
+    def prefill(
+        self, token_ids: np.ndarray | list[int], cache: KVCacheProtocol | None = None
+    ) -> tuple[np.ndarray, KVCacheProtocol]:
+        """Process a prompt, filling ``cache``; returns (last-token logits, cache)."""
+        if cache is None:
+            cache = DynamicCache()
+        logits = self.forward(token_ids, cache)
+        return logits[-1], cache
+
+    def decode_step(self, token_id: int, cache: KVCacheProtocol) -> np.ndarray:
+        """Generate logits for a single new token appended to ``cache``."""
+        logits = self.forward(np.asarray([token_id], dtype=np.int64), cache)
+        return logits[-1]
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return (
+            self.embedding.num_parameters
+            + sum(layer.num_parameters for layer in self.layers)
+            + self.final_norm.num_parameters
+            + self.lm_head.num_parameters
+        )
+
+    @property
+    def num_bytes(self) -> int:
+        """Bytes of model weights (float32)."""
+        return (
+            self.embedding.num_bytes
+            + sum(layer.num_bytes for layer in self.layers)
+            + self.final_norm.num_bytes
+            + self.lm_head.num_bytes
+        )
+
+    def kv_bytes_per_token(self) -> int:
+        """Bytes of KV cache stored per token across all layers (float32)."""
+        config = self.config
+        per_layer = 2 * config.num_kv_heads * config.head_dim * 4
+        return per_layer * config.num_layers

@@ -1,0 +1,72 @@
+"""Token sampling strategies for the generation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .attention import softmax
+
+__all__ = ["SamplingConfig", "greedy", "sample_token"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How the next token is chosen from the logits.
+
+    ``temperature == 0`` means greedy decoding.  ``top_p`` applies nucleus
+    filtering before sampling; ``top_k`` keeps only the k most likely tokens.
+    """
+
+    temperature: float = 0.0
+    top_p: float = 1.0
+    top_k: int = 0
+    seed: int = 0
+
+    def make_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Return the argmax token id."""
+    return int(np.argmax(np.asarray(logits)))
+
+
+def _apply_top_k(probs: np.ndarray, top_k: int) -> np.ndarray:
+    if top_k <= 0 or top_k >= probs.shape[-1]:
+        return probs
+    threshold = np.sort(probs)[-top_k]
+    filtered = np.where(probs >= threshold, probs, 0.0)
+    return filtered / filtered.sum()
+
+
+def _apply_top_p(probs: np.ndarray, top_p: float) -> np.ndarray:
+    if top_p >= 1.0:
+        return probs
+    order = np.argsort(probs)[::-1]
+    sorted_probs = probs[order]
+    cumulative = np.cumsum(sorted_probs)
+    cutoff = int(np.searchsorted(cumulative, top_p) + 1)
+    keep = order[:cutoff]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
+    return filtered / filtered.sum()
+
+
+def sample_token(
+    logits: np.ndarray,
+    config: SamplingConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Choose the next token id from ``logits`` according to ``config``."""
+    config = config or SamplingConfig()
+    logits = np.asarray(logits, dtype=np.float64)
+    if config.temperature <= 0.0:
+        return greedy(logits)
+    probs = softmax(logits / config.temperature).astype(np.float64)
+    probs = probs / probs.sum()
+    probs = _apply_top_k(probs, config.top_k)
+    probs = _apply_top_p(probs, config.top_p)
+    rng = rng or config.make_rng()
+    return int(rng.choice(probs.shape[-1], p=probs))

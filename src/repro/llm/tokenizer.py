@@ -1,0 +1,75 @@
+"""A deterministic byte-level tokenizer.
+
+The paper runs Llama's BPE tokenizer; this substrate uses a byte-level
+tokenizer with a small set of special tokens.  A byte-level vocabulary keeps
+the implementation dependency-free while preserving the property the library
+actually needs: a reversible mapping from text to an integer token sequence
+whose length is proportional to the text length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpecialTokens", "ByteTokenizer"]
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Ids of the special tokens used by the generation loop."""
+
+    bos: int = 256
+    eos: int = 257
+    pad: int = 258
+
+    @property
+    def all(self) -> tuple[int, int, int]:
+        return (self.bos, self.eos, self.pad)
+
+
+@dataclass
+class ByteTokenizer:
+    """Byte-level tokenizer with BOS/EOS/PAD special tokens.
+
+    Every UTF-8 byte maps to its own token id (0..255); special tokens occupy
+    ids 256..258.  ``vocab_size`` is therefore 259 unless extended.
+    """
+
+    special: SpecialTokens = field(default_factory=SpecialTokens)
+
+    @property
+    def vocab_size(self) -> int:
+        return 256 + len(self.special.all)
+
+    @property
+    def bos_id(self) -> int:
+        return self.special.bos
+
+    @property
+    def eos_id(self) -> int:
+        return self.special.eos
+
+    @property
+    def pad_id(self) -> int:
+        return self.special.pad
+
+    def encode(self, text: str, add_bos: bool = True, add_eos: bool = False) -> list[int]:
+        """Encode ``text`` into a list of token ids."""
+        ids = list(text.encode("utf-8"))
+        if add_bos:
+            ids.insert(0, self.special.bos)
+        if add_eos:
+            ids.append(self.special.eos)
+        return ids
+
+    def decode(self, ids: list[int] | tuple[int, ...], skip_special: bool = True) -> str:
+        """Decode token ids back into text."""
+        specials = set(self.special.all)
+        payload = bytes(i for i in ids if 0 <= i < 256 or not skip_special and i not in specials)
+        if not skip_special:
+            payload = bytes(i for i in ids if 0 <= i < 256)
+        return payload.decode("utf-8", errors="replace")
+
+    def encode_batch(self, texts: list[str], add_bos: bool = True) -> list[list[int]]:
+        """Encode a batch of texts (no padding is applied)."""
+        return [self.encode(text, add_bos=add_bos) for text in texts]

@@ -1,0 +1,35 @@
+"""Query processing: query types, DIPRS, top-k and filtered search."""
+
+from .dipr import DIPRSearchStats, diprs_search, exact_dipr
+from .filtered import filtered_diprs_search, naive_filtered_diprs_search, predicate_mask
+from .topk import coarse_topk_search, flat_topk_search, graph_topk_search
+from .types import (
+    DIPRQuery,
+    FilterPredicate,
+    IndexKind,
+    QueryKind,
+    QuerySpec,
+    TopKQuery,
+    alpha_from_beta,
+    beta_from_alpha,
+)
+
+__all__ = [
+    "DIPRQuery",
+    "DIPRSearchStats",
+    "FilterPredicate",
+    "IndexKind",
+    "QueryKind",
+    "QuerySpec",
+    "TopKQuery",
+    "alpha_from_beta",
+    "beta_from_alpha",
+    "coarse_topk_search",
+    "diprs_search",
+    "exact_dipr",
+    "filtered_diprs_search",
+    "flat_topk_search",
+    "graph_topk_search",
+    "naive_filtered_diprs_search",
+    "predicate_mask",
+]

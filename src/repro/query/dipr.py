@@ -1,0 +1,162 @@
+"""DIPRS: the approximate DIPR query processing algorithm (Algorithm 1).
+
+A DIPR query returns every key whose inner product with the query is within
+``beta`` of the *maximum* inner product.  The number of results is unknown
+until the maximiser is found, so the classic fixed-``ef`` beam search does not
+apply directly.  DIPRS instead maintains an **unordered candidate list with
+variable capacity** and prunes exploration against the best-so-far maximum:
+
+* while the list holds fewer than ``capacity_threshold`` (``l0``) elements,
+  every explored point is appended — this widens the early search so the true
+  maximiser is found quickly (design principle i);
+* once past the threshold, a point is appended only if its inner product is
+  within ``beta`` of the current best — non-critical regions of the graph are
+  not explored (design principle ii).
+
+The *window-cache enhancement* of Section 7.1 seeds the best-so-far maximum
+with the largest inner product found in the GPU-resident token window, which
+tightens the pruning bound from the first hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..index.base import SearchResult
+from ..index.graph import NeighborGraph
+
+__all__ = ["DIPRSearchStats", "diprs_search", "exact_dipr"]
+
+
+@dataclass
+class DIPRSearchStats:
+    """Work counters of one DIPRS search."""
+
+    num_distance_computations: int = 0
+    num_hops: int = 0
+    num_appended: int = 0
+    num_pruned: int = 0
+
+
+def exact_dipr(vectors: np.ndarray, query: np.ndarray, beta: float, allowed: np.ndarray | None = None) -> SearchResult:
+    """Ground-truth DIPR by full scan (the flat-index execution path)."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32)
+    scores = vectors @ query
+    if allowed is not None:
+        scores = np.where(allowed, scores, -np.inf)
+    finite = np.isfinite(scores)
+    if not finite.any():
+        return SearchResult(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32), int(vectors.shape[0]))
+    threshold = scores[finite].max() - beta
+    selected = np.flatnonzero(scores >= threshold)
+    order = selected[np.argsort(-scores[selected])]
+    return SearchResult(
+        indices=order.astype(np.int64),
+        scores=scores[order].astype(np.float32),
+        num_distance_computations=int(vectors.shape[0]),
+    )
+
+
+def diprs_search(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    query: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    capacity_threshold: int = 32,
+    window_max_score: float | None = None,
+    allowed: np.ndarray | None = None,
+    max_tokens: int | None = None,
+) -> tuple[SearchResult, DIPRSearchStats]:
+    """Algorithm 1 of the paper: graph-based approximate DIPR search.
+
+    Parameters
+    ----------
+    vectors:
+        Key vectors ``(n, d)`` the graph is built over.
+    graph:
+        Neighbour graph (RoarGraph / HNSW bottom layer) in CSR form.
+    query:
+        Query vector ``(d,)``.
+    beta:
+        The DIPR slack; only keys with ``q·k >= best - beta`` are critical.
+    entry_points:
+        Start nodes (``k0`` in the pseudocode).
+    capacity_threshold:
+        ``l0``: exploration is unrestricted until this many candidates exist.
+    window_max_score:
+        Maximum inner product observed in the cached window (Section 7.1);
+        used to tighten pruning, and counted as a candidate for the final
+        threshold.
+    allowed:
+        Optional boolean mask; disallowed nodes are explored for connectivity
+        but never appended (see :mod:`repro.query.filtered` for 2-hop
+        filtering built on top of this).
+    max_tokens:
+        Optional hard cap on the number of returned tokens (a safety valve the
+        execution engine uses to bound worst-case latency).
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32)
+    stats = DIPRSearchStats()
+
+    entry_points = np.atleast_1d(np.asarray(entry_points, dtype=np.int64))
+    num_nodes = graph.num_nodes
+    visited = np.zeros(num_nodes, dtype=bool)
+
+    candidate_ids: list[int] = []
+    candidate_scores: list[float] = []
+    best_score = -np.inf if window_max_score is None else float(window_max_score)
+
+    def try_append(node: int, score: float) -> None:
+        nonlocal best_score
+        stats.num_distance_computations += 1
+        below_capacity = len(candidate_ids) < capacity_threshold
+        critical = score >= best_score - beta
+        if below_capacity or critical:
+            if allowed is None or allowed[node]:
+                candidate_ids.append(node)
+                candidate_scores.append(score)
+                stats.num_appended += 1
+            best_score = max(best_score, score)
+        else:
+            stats.num_pruned += 1
+
+    for entry in entry_points:
+        entry = int(entry)
+        if visited[entry]:
+            continue
+        visited[entry] = True
+        try_append(entry, float(vectors[entry] @ query))
+
+    cursor = 0
+    while cursor < len(candidate_ids):
+        node = candidate_ids[cursor]
+        cursor += 1
+        stats.num_hops += 1
+        neighbors = graph.neighbors(int(node))
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.shape[0] == 0:
+            continue
+        visited[fresh] = True
+        scores = vectors[fresh] @ query
+        for neighbor, score in zip(fresh, scores):
+            try_append(int(neighbor), float(score))
+
+    indices = np.asarray(candidate_ids, dtype=np.int64)
+    scores = np.asarray(candidate_scores, dtype=np.float32)
+    threshold = best_score - beta
+    keep = scores >= threshold
+    indices, scores = indices[keep], scores[keep]
+    order = np.argsort(-scores)
+    if max_tokens is not None:
+        order = order[:max_tokens]
+    result = SearchResult(
+        indices=indices[order],
+        scores=scores[order],
+        num_distance_computations=stats.num_distance_computations,
+    )
+    return result, stats

@@ -1,0 +1,173 @@
+"""Attribute-filtered DIPRS for partial-prefix context reuse (Section 7.1).
+
+When a new session reuses only a *prefix* of a stored context, the stored
+index covers more tokens than the session may attend to.  Naively dropping
+graph nodes that fail the position predicate disconnects the graph and
+wrecks recall.  Following ACORN, the filtered search instead expands each
+explored node's neighbourhood to its **2-hop neighbours**, then excludes the
+candidates that fail the predicate — the traversal keeps its reach while the
+result set respects the filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index.base import SearchResult
+from ..index.graph import NeighborGraph
+from .dipr import DIPRSearchStats
+from .types import FilterPredicate
+
+__all__ = ["predicate_mask", "filtered_diprs_search", "naive_filtered_diprs_search"]
+
+
+def predicate_mask(num_tokens: int, predicate: FilterPredicate | None) -> np.ndarray | None:
+    """Boolean mask over token positions allowed by ``predicate`` (None = all)."""
+    if predicate is None:
+        return None
+    mask = np.zeros(num_tokens, dtype=bool)
+    mask[: min(predicate.max_position, num_tokens)] = True
+    return mask
+
+
+def _two_hop_neighbors(graph: NeighborGraph, node: int) -> np.ndarray:
+    """The union of a node's neighbours and its neighbours' neighbours."""
+    one_hop = graph.neighbors(node)
+    if one_hop.shape[0] == 0:
+        return one_hop
+    pieces = [one_hop]
+    for neighbor in one_hop:
+        pieces.append(graph.neighbors(int(neighbor)))
+    return np.unique(np.concatenate(pieces))
+
+
+def filtered_diprs_search(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    query: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    predicate: FilterPredicate,
+    capacity_threshold: int = 32,
+    window_max_score: float | None = None,
+    max_tokens: int | None = None,
+) -> tuple[SearchResult, DIPRSearchStats]:
+    """DIPRS with 2-hop expansion and attribute filtering.
+
+    The candidate list only ever contains tokens satisfying ``predicate``;
+    exploration, however, ranges over the unfiltered 2-hop neighbourhood so
+    the search can cross regions of the graph dominated by filtered-out
+    tokens (e.g. the stored context's own conversation suffix).
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32)
+    allowed = predicate_mask(graph.num_nodes, predicate)
+    stats = DIPRSearchStats()
+
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    candidate_ids: list[int] = []
+    candidate_scores: list[float] = []
+    best_score = -np.inf if window_max_score is None else float(window_max_score)
+
+    def try_append(node: int, score: float) -> None:
+        nonlocal best_score
+        stats.num_distance_computations += 1
+        if not allowed[node]:
+            # filtered-out tokens may not become candidates nor set the max:
+            # the DIPR maximum is defined over the *reusable* tokens only.
+            stats.num_pruned += 1
+            return
+        below_capacity = len(candidate_ids) < capacity_threshold
+        critical = score >= best_score - beta
+        if below_capacity or critical:
+            candidate_ids.append(node)
+            candidate_scores.append(score)
+            stats.num_appended += 1
+            best_score = max(best_score, score)
+        else:
+            stats.num_pruned += 1
+
+    entry_points = np.atleast_1d(np.asarray(entry_points, dtype=np.int64))
+    for entry in entry_points:
+        entry = int(entry)
+        if visited[entry]:
+            continue
+        visited[entry] = True
+        try_append(entry, float(vectors[entry] @ query))
+    if not candidate_ids:
+        # every entry point was filtered out: fall back to the first allowed
+        # positions so the traversal has somewhere to start.
+        seeds = np.flatnonzero(allowed)[: max(1, capacity_threshold // 4)]
+        for seed in seeds:
+            seed = int(seed)
+            if not visited[seed]:
+                visited[seed] = True
+                try_append(seed, float(vectors[seed] @ query))
+
+    cursor = 0
+    while cursor < len(candidate_ids):
+        node = candidate_ids[cursor]
+        cursor += 1
+        stats.num_hops += 1
+        expansion = _two_hop_neighbors(graph, int(node))
+        fresh = expansion[~visited[expansion]]
+        if fresh.shape[0] == 0:
+            continue
+        visited[fresh] = True
+        scores = vectors[fresh] @ query
+        for neighbor, score in zip(fresh, scores):
+            try_append(int(neighbor), float(score))
+
+    indices = np.asarray(candidate_ids, dtype=np.int64)
+    scores = np.asarray(candidate_scores, dtype=np.float32)
+    threshold = best_score - beta
+    keep = scores >= threshold
+    indices, scores = indices[keep], scores[keep]
+    order = np.argsort(-scores)
+    if max_tokens is not None:
+        order = order[:max_tokens]
+    result = SearchResult(indices=indices[order], scores=scores[order], num_distance_computations=stats.num_distance_computations)
+    return result, stats
+
+
+def naive_filtered_diprs_search(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    query: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    predicate: FilterPredicate,
+    capacity_threshold: int = 32,
+    window_max_score: float | None = None,
+) -> tuple[SearchResult, DIPRSearchStats]:
+    """The naive baseline: prune filtered-out nodes from the traversal itself.
+
+    Used by the Figure 12 ablation to demonstrate why 2-hop expansion is
+    needed — pruning nodes from the walk disconnects the graph and recall
+    collapses as the reuse ratio drops.
+    """
+    from .dipr import diprs_search
+
+    allowed = predicate_mask(graph.num_nodes, predicate)
+    # restrict the adjacency to allowed→allowed edges
+    lists = []
+    for node in range(graph.num_nodes):
+        if allowed[node]:
+            neighbors = graph.neighbors(node)
+            lists.append([int(n) for n in neighbors if allowed[n]])
+        else:
+            lists.append([])
+    pruned_graph = NeighborGraph.from_lists(lists)
+    entry_points = [int(e) for e in np.atleast_1d(entry_points) if allowed[int(e)]]
+    if not entry_points:
+        entry_points = [int(np.flatnonzero(allowed)[0])]
+    return diprs_search(
+        vectors,
+        pruned_graph,
+        query,
+        beta,
+        entry_points,
+        capacity_threshold=capacity_threshold,
+        window_max_score=window_max_score,
+        allowed=allowed,
+    )

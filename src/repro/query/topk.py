@@ -1,0 +1,43 @@
+"""Top-k critical-token retrieval over the three index families.
+
+These helpers give the execution engine one uniform entry point per index
+family; the fixed-k semantics match the retrieval used by RetrievalAttention
+and the other prior systems AlayaDB compares against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index.base import SearchResult
+from ..index.coarse import CoarseBlockIndex
+from ..index.flat import FlatIndex
+from ..index.graph import NeighborGraph, beam_search
+
+__all__ = ["graph_topk_search", "flat_topk_search", "coarse_topk_search"]
+
+
+def graph_topk_search(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    query: np.ndarray,
+    k: int,
+    entry_points: np.ndarray | list[int],
+    ef: int | None = None,
+    allowed: np.ndarray | None = None,
+) -> SearchResult:
+    """Fixed-size beam search over a fine-grained graph index."""
+    ef = max(ef or 4 * k, k)
+    indices, scores, stats = beam_search(vectors, graph, np.asarray(query, dtype=np.float32), ef, entry_points, allowed=allowed)
+    result = SearchResult(indices=indices, scores=scores, num_distance_computations=stats.num_distance_computations)
+    return result.top(k)
+
+
+def flat_topk_search(index: FlatIndex, query: np.ndarray, k: int, allowed: np.ndarray | None = None) -> SearchResult:
+    """Exact top-k by scanning the flat index."""
+    return index.search_topk(query, k, allowed=allowed)
+
+
+def coarse_topk_search(index: CoarseBlockIndex, query: np.ndarray, k: int) -> SearchResult:
+    """Block-filtered top-k over the coarse index."""
+    return index.search_topk(query, k)

@@ -1,0 +1,20 @@
+"""Device, cost and SLO simulation (experimental-setup substrate)."""
+
+from .cost_model import CostModel, ModelShape
+from .device import Allocation, Device, DeviceKind, DeviceSet, DeviceSpec, GIB
+from .slo import HUMAN_READING_TPOT, SLO, SLOReport, SLOTracker
+
+__all__ = [
+    "Allocation",
+    "CostModel",
+    "Device",
+    "DeviceKind",
+    "DeviceSet",
+    "DeviceSpec",
+    "GIB",
+    "HUMAN_READING_TPOT",
+    "ModelShape",
+    "SLO",
+    "SLOReport",
+    "SLOTracker",
+]

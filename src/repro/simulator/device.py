@@ -1,0 +1,158 @@
+"""Simulated compute devices with memory accounting.
+
+The paper evaluates GPU memory consumption (48 GB NVIDIA L20) alongside
+latency and quality.  This module provides explicit device objects that track
+every allocation in bytes, so "GPU memory usage" in the benchmark harnesses
+is the same arithmetic the paper performs over tensor shapes, and exceeding a
+device's capacity is an error exactly like a CUDA OOM would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import OutOfDeviceMemoryError
+
+__all__ = ["DeviceKind", "DeviceSpec", "Allocation", "Device", "DeviceSet"]
+
+
+GIB = 1024**3
+
+
+class DeviceKind:
+    """String constants for device kinds."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+    DISK = "disk"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capacity and bandwidth description of one device.
+
+    Bandwidths are in bytes/second and feed the latency cost model.  The
+    defaults for the GPU mirror the paper's NVIDIA L20 (48 GB, ~864 GB/s
+    memory bandwidth, PCIe 4.0 x16 host link ~25 GB/s usable).
+    """
+
+    name: str
+    kind: str
+    capacity_bytes: int
+    memory_bandwidth: float
+    transfer_bandwidth: float
+    compute_flops: float
+
+    @classmethod
+    def l20_gpu(cls) -> "DeviceSpec":
+        return cls(
+            name="gpu0",
+            kind=DeviceKind.GPU,
+            capacity_bytes=48 * GIB,
+            memory_bandwidth=864e9,
+            transfer_bandwidth=25e9,
+            compute_flops=60e12,
+        )
+
+    @classmethod
+    def xeon_cpu(cls) -> "DeviceSpec":
+        return cls(
+            name="cpu0",
+            kind=DeviceKind.CPU,
+            capacity_bytes=512 * GIB,
+            memory_bandwidth=300e9,
+            transfer_bandwidth=25e9,
+            compute_flops=3e12,
+        )
+
+    @classmethod
+    def nvme_disk(cls) -> "DeviceSpec":
+        return cls(
+            name="disk0",
+            kind=DeviceKind.DISK,
+            capacity_bytes=4096 * GIB,
+            memory_bandwidth=7e9,
+            transfer_bandwidth=7e9,
+            compute_flops=0.0,
+        )
+
+
+@dataclass
+class Allocation:
+    """One named allocation on a device."""
+
+    tag: str
+    nbytes: int
+
+
+class Device:
+    """A simulated device: a spec plus a ledger of live allocations."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self._allocations: dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    # allocation ledger
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.used_bytes
+
+    def allocate(self, tag: str, nbytes: int) -> Allocation:
+        """Record an allocation; raises :class:`OutOfDeviceMemoryError` on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        existing = self._allocations.get(tag)
+        already = existing.nbytes if existing else 0
+        if self.used_bytes - already + nbytes > self.spec.capacity_bytes:
+            raise OutOfDeviceMemoryError(
+                f"{self.spec.name}: allocating {nbytes / GIB:.2f} GiB for '{tag}' exceeds "
+                f"capacity {self.spec.capacity_bytes / GIB:.2f} GiB "
+                f"(in use: {self.used_bytes / GIB:.2f} GiB)"
+            )
+        allocation = Allocation(tag=tag, nbytes=nbytes)
+        self._allocations[tag] = allocation
+        return allocation
+
+    def allocate_array(self, tag: str, array: np.ndarray) -> Allocation:
+        """Record an allocation sized to hold ``array``."""
+        return self.allocate(tag, int(array.nbytes))
+
+    def free(self, tag: str) -> None:
+        """Release an allocation (no error when the tag is unknown)."""
+        self._allocations.pop(tag, None)
+
+    def usage_by_tag(self) -> dict[str, int]:
+        return {tag: allocation.nbytes for tag, allocation in self._allocations.items()}
+
+    def reset(self) -> None:
+        self._allocations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Device({self.spec.name}, used={self.used_bytes / GIB:.2f}GiB/{self.spec.capacity_bytes / GIB:.0f}GiB)"
+
+
+@dataclass
+class DeviceSet:
+    """The standard simulated machine: one GPU, one CPU, one NVMe disk."""
+
+    gpu: Device = field(default_factory=lambda: Device(DeviceSpec.l20_gpu()))
+    cpu: Device = field(default_factory=lambda: Device(DeviceSpec.xeon_cpu()))
+    disk: Device = field(default_factory=lambda: Device(DeviceSpec.nvme_disk()))
+
+    def reset(self) -> None:
+        self.gpu.reset()
+        self.cpu.reset()
+        self.disk.reset()
+
+    def by_kind(self, kind: str) -> Device:
+        mapping = {DeviceKind.GPU: self.gpu, DeviceKind.CPU: self.cpu, DeviceKind.DISK: self.disk}
+        return mapping[kind]

@@ -1,0 +1,99 @@
+"""Service level objectives (SLOs) for LLM serving.
+
+The paper evaluates every method under the SLO "TPOT ≤ 0.24 s" (human reading
+speed) and reports which methods can meet it.  This module provides a small
+SLO object plus a tracker that accumulates per-request measurements and
+reports compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SLOViolationError
+
+__all__ = ["SLO", "SLOReport", "SLOTracker", "HUMAN_READING_TPOT"]
+
+
+HUMAN_READING_TPOT = 0.24
+"""Seconds per output token at human reading speed (the paper's decode SLO)."""
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency targets for the two inference phases (seconds)."""
+
+    tpot_seconds: float = HUMAN_READING_TPOT
+    ttft_seconds: float | None = None
+
+    def check_tpot(self, measured: float) -> bool:
+        return measured <= self.tpot_seconds
+
+    def check_ttft(self, measured: float) -> bool:
+        if self.ttft_seconds is None:
+            return True
+        return measured <= self.ttft_seconds
+
+    def require_tpot(self, measured: float, context: str = "") -> None:
+        """Raise :class:`SLOViolationError` when the decode SLO is missed."""
+        if not self.check_tpot(measured):
+            raise SLOViolationError(
+                f"TPOT {measured:.3f}s exceeds SLO {self.tpot_seconds:.3f}s {context}".strip()
+            )
+
+
+@dataclass
+class SLOReport:
+    """Aggregate compliance over a set of measurements."""
+
+    num_requests: int
+    tpot_mean: float
+    tpot_p99: float
+    ttft_mean: float
+    meets_tpot: bool
+    meets_ttft: bool
+
+    @property
+    def meets_all(self) -> bool:
+        return self.meets_tpot and self.meets_ttft
+
+
+@dataclass
+class SLOTracker:
+    """Collects per-request TTFT / TPOT samples and summarises compliance."""
+
+    slo: SLO = field(default_factory=SLO)
+    _tpot_samples: list[float] = field(default_factory=list)
+    _ttft_samples: list[float] = field(default_factory=list)
+
+    def record(self, tpot_seconds: float | None = None, ttft_seconds: float | None = None) -> None:
+        if tpot_seconds is not None:
+            self._tpot_samples.append(float(tpot_seconds))
+        if ttft_seconds is not None:
+            self._ttft_samples.append(float(ttft_seconds))
+
+    @property
+    def num_samples(self) -> int:
+        return max(len(self._tpot_samples), len(self._ttft_samples))
+
+    def report(self) -> SLOReport:
+        tpot = np.asarray(self._tpot_samples) if self._tpot_samples else np.asarray([0.0])
+        ttft = np.asarray(self._ttft_samples) if self._ttft_samples else np.asarray([0.0])
+        tpot_mean = float(tpot.mean())
+        ttft_mean = float(ttft.mean())
+        meets_tpot = bool(self.slo.check_tpot(tpot_mean)) if self._tpot_samples else True
+        meets_ttft = bool(self.slo.check_ttft(ttft_mean)) if self._ttft_samples else True
+        return SLOReport(
+            num_requests=self.num_samples,
+            tpot_mean=tpot_mean,
+            tpot_p99=float(np.percentile(tpot, 99)),
+            ttft_mean=ttft_mean,
+            meets_tpot=meets_tpot,
+            meets_ttft=meets_ttft,
+        )
+
+    def reset(self) -> None:
+        self._tpot_samples.clear()
+        self._ttft_samples.clear()

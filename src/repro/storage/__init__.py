@@ -1,0 +1,23 @@
+"""Vector storage engine: block layout, vector files, buffer manager."""
+
+from .blocks import BlockId, BlockType, DataBlock, IndexBlock
+from .buffer_manager import BufferFrame, BufferManager, BufferStats
+from .filesystem import VectorFileKey, VectorFileSystem
+from .io_model import IOModel, IOStats
+from .vector_file import VectorFile, VectorFileMeta
+
+__all__ = [
+    "BlockId",
+    "BlockType",
+    "BufferFrame",
+    "BufferManager",
+    "BufferStats",
+    "DataBlock",
+    "IOModel",
+    "IOStats",
+    "IndexBlock",
+    "VectorFile",
+    "VectorFileKey",
+    "VectorFileMeta",
+    "VectorFileSystem",
+]

@@ -1,0 +1,105 @@
+"""Block model of the vector file system (Section 7.3 of the paper).
+
+Vectors and graph adjacency are stored in separate block types:
+
+* **data blocks** hold the raw key/value vectors of a run of token positions;
+* **index blocks** hold a chunk of the graph adjacency (neighbour lists),
+  linked so the graph can be traversed block by block.
+
+Separating the two lets the buffer manager keep hot index blocks resident
+while streaming data blocks through, and lets vectors be appended or deleted
+without rewriting the whole file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BlockType", "BlockId", "DataBlock", "IndexBlock"]
+
+
+class BlockType:
+    """String constants identifying the block kinds."""
+
+    DATA = "data"
+    INDEX = "index"
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """Globally unique block address: (file id, block number)."""
+
+    file_id: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.file_id}#{self.number}"
+
+
+@dataclass
+class DataBlock:
+    """A run of vectors for consecutive token positions."""
+
+    block_id: BlockId
+    start_position: int
+    vectors: np.ndarray  # (num_vectors, dim), float32
+
+    @property
+    def block_type(self) -> str:
+        return BlockType.DATA
+
+    @property
+    def num_vectors(self) -> int:
+        return int(self.vectors.shape[0])
+
+    @property
+    def stop_position(self) -> int:
+        return self.start_position + self.num_vectors
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.vectors.nbytes)
+
+    def contains(self, position: int) -> bool:
+        return self.start_position <= position < self.stop_position
+
+    def vector_at(self, position: int) -> np.ndarray:
+        if not self.contains(position):
+            raise IndexError(f"position {position} not in block {self.block_id}")
+        return self.vectors[position - self.start_position]
+
+
+@dataclass
+class IndexBlock:
+    """A chunk of graph adjacency: neighbour lists of a node range."""
+
+    block_id: BlockId
+    start_node: int
+    neighbor_lists: list[np.ndarray] = field(default_factory=list)
+    next_block: BlockId | None = None
+
+    @property
+    def block_type(self) -> str:
+        return BlockType.INDEX
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.neighbor_lists)
+
+    @property
+    def stop_node(self) -> int:
+        return self.start_node + self.num_nodes
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(np.asarray(l).nbytes for l in self.neighbor_lists))
+
+    def contains(self, node: int) -> bool:
+        return self.start_node <= node < self.stop_node
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        if not self.contains(node):
+            raise IndexError(f"node {node} not in block {self.block_id}")
+        return np.asarray(self.neighbor_lists[node - self.start_node], dtype=np.int32)

@@ -1,0 +1,165 @@
+"""Purpose-built buffer manager (Section 7.3 of the paper).
+
+A byte-budgeted block cache with a **type-aware eviction policy**: index
+blocks (graph adjacency, touched on every traversal) are preferred residents;
+data blocks (raw vectors, typically read once per attention computation) are
+evicted first.  Within each class eviction is LRU.  Pinned blocks are never
+evicted.  Access is serialised with a lock so multiple worker threads can
+share one pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import BufferPoolExhaustedError
+from .blocks import BlockId, BlockType, DataBlock, IndexBlock
+
+__all__ = ["BufferStats", "BufferFrame", "BufferManager"]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters of a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def num_accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / max(self.num_accesses, 1)
+
+
+@dataclass
+class BufferFrame:
+    """One cached block plus its bookkeeping."""
+
+    block: DataBlock | IndexBlock
+    pin_count: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.block.nbytes
+
+    @property
+    def block_type(self) -> str:
+        return self.block.block_type
+
+
+class BufferManager:
+    """Byte-budgeted block cache with class-aware LRU eviction."""
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._frames: OrderedDict[str, BufferFrame] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(frame.nbytes for frame in self._frames.values())
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._frames)
+
+    def resident_ids(self) -> list[str]:
+        return list(self._frames)
+
+    def __contains__(self, block_id: BlockId | str) -> bool:
+        return str(block_id) in self._frames
+
+    # ------------------------------------------------------------------
+    # cache operations
+    # ------------------------------------------------------------------
+    def get(self, block_id: BlockId | str, loader=None, pin: bool = False) -> DataBlock | IndexBlock:
+        """Return the cached block, loading it with ``loader()`` on a miss.
+
+        ``loader`` must be a zero-argument callable returning the block; it is
+        required on a miss.  ``pin`` keeps the block ineligible for eviction
+        until :meth:`unpin` is called.
+        """
+        key = str(block_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(key)
+                if pin:
+                    frame.pin_count += 1
+                return frame.block
+            self.stats.misses += 1
+        if loader is None:
+            raise BufferPoolExhaustedError(f"block {key} not cached and no loader supplied")
+        block = loader()
+        self.put(block, pin=pin)
+        return block
+
+    def put(self, block: DataBlock | IndexBlock, pin: bool = False) -> None:
+        """Insert a block, evicting colder blocks as needed."""
+        key = str(block.block_id)
+        with self._lock:
+            if block.nbytes > self.capacity_bytes:
+                raise BufferPoolExhaustedError(
+                    f"block {key} ({block.nbytes} bytes) exceeds pool capacity {self.capacity_bytes}"
+                )
+            self._evict_until_fits(block.nbytes, incoming_key=key)
+            frame = BufferFrame(block=block, pin_count=1 if pin else 0)
+            self._frames[key] = frame
+            self._frames.move_to_end(key)
+
+    def pin(self, block_id: BlockId | str) -> None:
+        key = str(block_id)
+        with self._lock:
+            self._frames[key].pin_count += 1
+
+    def unpin(self, block_id: BlockId | str) -> None:
+        key = str(block_id)
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None and frame.pin_count > 0:
+                frame.pin_count -= 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._frames.clear()
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _eviction_candidates(self) -> list[str]:
+        """Keys in eviction order: data blocks (LRU first), then index blocks."""
+        data_keys = [k for k, f in self._frames.items() if f.block_type == BlockType.DATA and f.pin_count == 0]
+        index_keys = [k for k, f in self._frames.items() if f.block_type == BlockType.INDEX and f.pin_count == 0]
+        return data_keys + index_keys
+
+    def _evict_until_fits(self, incoming_bytes: int, incoming_key: str) -> None:
+        existing = self._frames.pop(incoming_key, None)
+        current = sum(frame.nbytes for frame in self._frames.values())
+        if existing is not None:
+            pass  # replacing a block: its bytes are already excluded
+        if current + incoming_bytes <= self.capacity_bytes:
+            return
+        for key in self._eviction_candidates():
+            frame = self._frames.pop(key)
+            current -= frame.nbytes
+            self.stats.evictions += 1
+            if current + incoming_bytes <= self.capacity_bytes:
+                return
+        if current + incoming_bytes > self.capacity_bytes:
+            raise BufferPoolExhaustedError(
+                f"cannot fit {incoming_bytes} bytes: {current} bytes pinned or resident "
+                f"of {self.capacity_bytes} capacity"
+            )

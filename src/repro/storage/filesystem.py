@@ -1,0 +1,142 @@
+"""The vector file system: vector files + buffer manager + IO accounting.
+
+One :class:`VectorFileSystem` manages every vector file of a deployment,
+keyed by ``(context, layer, head, kind)``.  Reads go through the buffer
+manager (hot index blocks stay resident, cold data blocks stream through) and
+every miss is accounted against the SPDK/kernel IO model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StorageError
+from .blocks import BlockId
+from .buffer_manager import BufferManager
+from .io_model import IOModel
+from .vector_file import VectorFile
+
+__all__ = ["VectorFileKey", "VectorFileSystem"]
+
+
+@dataclass(frozen=True)
+class VectorFileKey:
+    """Identifies one vector file: a head of a layer of a context."""
+
+    context_id: str
+    layer: int
+    head: int
+    kind: str = "key"  # "key" or "value"
+
+    @property
+    def file_id(self) -> str:
+        return f"{self.context_id}_L{self.layer:02d}_H{self.head:02d}_{self.kind}"
+
+
+class VectorFileSystem:
+    """Manages vector files on disk with buffered, IO-accounted access."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        block_capacity: int = 256,
+        buffer_capacity_bytes: int = 64 * 1024 * 1024,
+        use_spdk: bool = True,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.block_capacity = block_capacity
+        self.buffer = BufferManager(buffer_capacity_bytes)
+        self.io = IOModel(use_spdk=use_spdk)
+        self._files: dict[str, VectorFile] = {}
+
+    # ------------------------------------------------------------------
+    # file management
+    # ------------------------------------------------------------------
+    def open_file(self, key: VectorFileKey, dim: int) -> VectorFile:
+        """Open (or create) the vector file identified by ``key``."""
+        file = self._files.get(key.file_id)
+        if file is None:
+            file = VectorFile(self.root, key.file_id, dim=dim, block_capacity=self.block_capacity)
+            self._files[key.file_id] = file
+        elif file.meta.dim != dim:
+            raise StorageError(f"vector file {key.file_id!r} has dim {file.meta.dim}, expected {dim}")
+        return file
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write_head_vectors(self, key: VectorFileKey, vectors: np.ndarray) -> None:
+        """Append a head's vectors, accounting the write IO."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        file = self.open_file(key, vectors.shape[1])
+        file.append_vectors(vectors)
+        self.io.record_write(int(vectors.nbytes))
+
+    def write_head_adjacency(self, key: VectorFileKey, adjacency: list[np.ndarray] | list[list[int]]) -> None:
+        """Persist a head's graph adjacency as index blocks."""
+        if key.file_id not in self._files:
+            raise StorageError(f"vector file {key.file_id!r} must hold vectors before adjacency")
+        file = self._files[key.file_id]
+        blocks = file.write_adjacency(adjacency)
+        nbytes = sum(file.read_index_block(b.number).nbytes for b in blocks)
+        self.io.record_write(int(nbytes))
+
+    def store_context_layer(
+        self,
+        context_id: str,
+        layer: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Persist one layer of a context: per-head key and value files."""
+        for head in range(keys.shape[0]):
+            self.write_head_vectors(VectorFileKey(context_id, layer, head, "key"), keys[head])
+            self.write_head_vectors(VectorFileKey(context_id, layer, head, "value"), values[head])
+
+    # ------------------------------------------------------------------
+    # reads (buffered)
+    # ------------------------------------------------------------------
+    def read_vectors(self, key: VectorFileKey, positions: np.ndarray) -> np.ndarray:
+        """Gather vectors by position through the buffer manager."""
+        file = self._files.get(key.file_id)
+        if file is None:
+            raise StorageError(f"vector file {key.file_id!r} is not open")
+        positions = np.asarray(positions, dtype=np.int64)
+        output = np.empty((positions.shape[0], file.meta.dim), dtype=np.float32)
+        for out_idx, position in enumerate(positions):
+            number = file.block_number_for_position(int(position))
+            block_id = BlockId(file.file_id, number)
+            if block_id not in self.buffer:
+                self.io.record_read(file.meta.block_capacity * file.meta.dim * 4)
+            block = self.buffer.get(block_id, loader=lambda n=number: file.read_data_block(n))
+            output[out_idx] = block.vector_at(int(position))
+        return output
+
+    def read_adjacency(self, key: VectorFileKey, node: int) -> np.ndarray:
+        """Read one node's neighbour list through the buffer manager."""
+        file = self._files.get(key.file_id)
+        if file is None:
+            raise StorageError(f"vector file {key.file_id!r} is not open")
+        nodes_per_block = 256
+        number = node // nodes_per_block
+        block_id = BlockId(file.file_id, number)
+        if block_id not in self.buffer:
+            self.io.record_read(4 * 1024)
+        block = self.buffer.get(block_id, loader=lambda n=number: file.read_index_block(n))
+        return block.neighbors_of(node)
+
+    def read_all_vectors(self, key: VectorFileKey) -> np.ndarray:
+        """Materialise a head's full vector matrix (sequential scan)."""
+        file = self._files.get(key.file_id)
+        if file is None:
+            raise StorageError(f"vector file {key.file_id!r} is not open")
+        vectors = file.read_all_vectors()
+        self.io.record_read(int(vectors.nbytes))
+        return vectors

@@ -1,0 +1,58 @@
+"""IO path model: SPDK user-space access vs the kernel block layer.
+
+The real system reads blocks through SPDK to bypass the kernel IO path.  The
+reproduction performs real file reads (tiny and fast), but *accounts* each
+read with the latency the configured IO path would cost on NVMe, so the
+benchmark harnesses can report the SPDK-vs-kernel difference the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulator.cost_model import CostModel
+
+__all__ = ["IOStats", "IOModel"]
+
+
+@dataclass
+class IOStats:
+    """Counters accumulated by an :class:`IOModel`."""
+
+    num_reads: int = 0
+    num_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    modeled_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.num_reads = 0
+        self.num_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.modeled_seconds = 0.0
+
+
+@dataclass
+class IOModel:
+    """Accounts block IO against the simulated NVMe device."""
+
+    use_spdk: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+    stats: IOStats = field(default_factory=IOStats)
+
+    def record_read(self, nbytes: int) -> float:
+        """Account one block read; returns the modelled latency in seconds."""
+        seconds = self.cost_model.disk_read_seconds(nbytes, use_spdk=self.use_spdk)
+        self.stats.num_reads += 1
+        self.stats.bytes_read += int(nbytes)
+        self.stats.modeled_seconds += seconds
+        return seconds
+
+    def record_write(self, nbytes: int) -> float:
+        """Account one block write; returns the modelled latency in seconds."""
+        seconds = self.cost_model.disk_read_seconds(nbytes, use_spdk=self.use_spdk)
+        self.stats.num_writes += 1
+        self.stats.bytes_written += int(nbytes)
+        self.stats.modeled_seconds += seconds
+        return seconds

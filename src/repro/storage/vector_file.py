@@ -1,0 +1,216 @@
+"""Vector files: the on-disk layout of one attention head's vectors.
+
+Each vector file stores the key (or value) vectors of a single attention head
+of a single layer, split into fixed-capacity data blocks, plus the graph
+adjacency of that head's index split into index blocks.  The file is backed by
+a directory containing one ``.npy`` per data block and one ``.npz`` per index
+block, with a JSON manifest — simple, append-friendly and mmap-able, which is
+the property the paper's SPDK layout is after (insert/delete without
+rewriting the file, block-granular reads).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import BlockNotFoundError, StorageError
+from .blocks import BlockId, BlockType, DataBlock, IndexBlock
+
+__all__ = ["VectorFileMeta", "VectorFile"]
+
+
+@dataclass
+class VectorFileMeta:
+    """Manifest of one vector file."""
+
+    file_id: str
+    dim: int
+    block_capacity: int
+    num_vectors: int = 0
+    num_data_blocks: int = 0
+    num_index_blocks: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "VectorFileMeta":
+        return cls(**json.loads(payload))
+
+
+class VectorFile:
+    """Block-structured storage of one head's vectors and adjacency."""
+
+    def __init__(self, directory: str | Path, file_id: str, dim: int, block_capacity: int = 256):
+        self.directory = Path(directory) / file_id
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = self.directory / "manifest.json"
+        if manifest.exists():
+            self.meta = VectorFileMeta.from_json(manifest.read_text())
+            if self.meta.dim != dim:
+                raise StorageError(
+                    f"vector file {file_id!r} has dim {self.meta.dim}, expected {dim}"
+                )
+        else:
+            self.meta = VectorFileMeta(file_id=file_id, dim=dim, block_capacity=block_capacity)
+            self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # manifest and paths
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        (self.directory / "manifest.json").write_text(self.meta.to_json())
+
+    def _data_block_path(self, number: int) -> Path:
+        return self.directory / f"data_{number:06d}.npy"
+
+    def _index_block_path(self, number: int) -> Path:
+        return self.directory / f"index_{number:06d}.npz"
+
+    @property
+    def file_id(self) -> str:
+        return self.meta.file_id
+
+    @property
+    def num_vectors(self) -> int:
+        return self.meta.num_vectors
+
+    @property
+    def num_data_blocks(self) -> int:
+        return self.meta.num_data_blocks
+
+    @property
+    def num_index_blocks(self) -> int:
+        return self.meta.num_index_blocks
+
+    # ------------------------------------------------------------------
+    # data blocks
+    # ------------------------------------------------------------------
+    def append_vectors(self, vectors: np.ndarray) -> list[BlockId]:
+        """Append ``(n, dim)`` vectors, creating as many data blocks as needed.
+
+        The last existing block is extended first if it has spare capacity, so
+        repeated small appends do not fragment the file.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[1] != self.meta.dim:
+            raise StorageError(f"expected (n, {self.meta.dim}) vectors, got {vectors.shape}")
+        written: list[BlockId] = []
+        remaining = vectors
+
+        # top up the last block when it is not full
+        if self.meta.num_data_blocks > 0:
+            last_number = self.meta.num_data_blocks - 1
+            last = self.read_data_block(last_number)
+            spare = self.meta.block_capacity - last.num_vectors
+            if spare > 0 and remaining.shape[0] > 0:
+                take = remaining[:spare]
+                merged = np.concatenate([last.vectors, take], axis=0)
+                np.save(self._data_block_path(last_number), merged)
+                self.meta.num_vectors += take.shape[0]
+                remaining = remaining[spare:]
+                written.append(BlockId(self.file_id, last_number))
+
+        while remaining.shape[0] > 0:
+            number = self.meta.num_data_blocks
+            chunk = remaining[: self.meta.block_capacity]
+            np.save(self._data_block_path(number), np.ascontiguousarray(chunk))
+            self.meta.num_data_blocks += 1
+            self.meta.num_vectors += chunk.shape[0]
+            remaining = remaining[self.meta.block_capacity :]
+            written.append(BlockId(self.file_id, number))
+        self._write_manifest()
+        return written
+
+    def read_data_block(self, number: int) -> DataBlock:
+        path = self._data_block_path(number)
+        if not path.exists():
+            raise BlockNotFoundError(f"data block {number} of {self.file_id!r} does not exist")
+        vectors = np.load(path)
+        return DataBlock(
+            block_id=BlockId(self.file_id, number),
+            start_position=number * self.meta.block_capacity,
+            vectors=vectors,
+        )
+
+    def block_number_for_position(self, position: int) -> int:
+        if position < 0 or position >= self.meta.num_vectors:
+            raise BlockNotFoundError(f"position {position} out of range ({self.meta.num_vectors} vectors)")
+        return position // self.meta.block_capacity
+
+    def read_vectors(self, positions: np.ndarray) -> np.ndarray:
+        """Gather vectors at arbitrary positions (one block read per touched block)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        output = np.empty((positions.shape[0], self.meta.dim), dtype=np.float32)
+        touched = {}
+        for out_idx, position in enumerate(positions):
+            number = self.block_number_for_position(int(position))
+            if number not in touched:
+                touched[number] = self.read_data_block(number)
+            output[out_idx] = touched[number].vector_at(int(position))
+        return output
+
+    def read_all_vectors(self) -> np.ndarray:
+        """Materialise every vector in the file, in position order."""
+        if self.meta.num_data_blocks == 0:
+            return np.empty((0, self.meta.dim), dtype=np.float32)
+        blocks = [self.read_data_block(i).vectors for i in range(self.meta.num_data_blocks)]
+        return np.concatenate(blocks, axis=0)
+
+    # ------------------------------------------------------------------
+    # index blocks
+    # ------------------------------------------------------------------
+    def write_adjacency(self, adjacency: list[np.ndarray] | list[list[int]], nodes_per_block: int = 256) -> list[BlockId]:
+        """Persist a graph adjacency as a chain of index blocks."""
+        written: list[BlockId] = []
+        number = self.meta.num_index_blocks
+        for start in range(0, len(adjacency), nodes_per_block):
+            chunk = adjacency[start : start + nodes_per_block]
+            arrays = {f"n{i}": np.asarray(neighbors, dtype=np.int32) for i, neighbors in enumerate(chunk)}
+            arrays["start_node"] = np.asarray([start], dtype=np.int64)
+            np.savez(self._index_block_path(number), **arrays)
+            written.append(BlockId(self.file_id, number))
+            number += 1
+        self.meta.num_index_blocks = number
+        self._write_manifest()
+        return written
+
+    def read_index_block(self, number: int) -> IndexBlock:
+        path = self._index_block_path(number)
+        if not path.exists():
+            raise BlockNotFoundError(f"index block {number} of {self.file_id!r} does not exist")
+        with np.load(path) as archive:
+            start_node = int(archive["start_node"][0])
+            lists = []
+            i = 0
+            while f"n{i}" in archive.files:
+                lists.append(archive[f"n{i}"])
+                i += 1
+        next_block = BlockId(self.file_id, number + 1) if number + 1 < self.meta.num_index_blocks else None
+        return IndexBlock(
+            block_id=BlockId(self.file_id, number),
+            start_node=start_node,
+            neighbor_lists=lists,
+            next_block=next_block,
+        )
+
+    def read_adjacency(self) -> list[np.ndarray]:
+        """Materialise the full adjacency by walking the index-block chain."""
+        adjacency: list[np.ndarray] = []
+        for number in range(self.meta.num_index_blocks):
+            block = self.read_index_block(number)
+            adjacency.extend(block.neighbor_lists)
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def delete(self) -> None:
+        """Remove every block and the manifest from disk."""
+        for path in self.directory.glob("*"):
+            path.unlink()
+        self.directory.rmdir()

@@ -1,0 +1,32 @@
+"""Synthetic long-context workloads and their evaluation harness."""
+
+from .evaluation import MethodEvaluation, evaluate_strategy
+from .generator import ScoringMode, SyntheticWorkload, WorkloadSpec, generate_workload
+from .infinite_bench import INFINITE_BENCH_TASKS, infinite_bench_names, infinite_bench_task
+from .longbench import LONGBENCH_TASKS, LongBenchTask, longbench_names, longbench_task
+from .scoring import needle_hit, recovery_ratio, softmax_weights, tokens_for_recovery
+from .trace import RequestTrace, TraceRequest, TraceSpec, generate_trace
+
+__all__ = [
+    "INFINITE_BENCH_TASKS",
+    "LONGBENCH_TASKS",
+    "LongBenchTask",
+    "MethodEvaluation",
+    "RequestTrace",
+    "ScoringMode",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "evaluate_strategy",
+    "generate_workload",
+    "infinite_bench_names",
+    "infinite_bench_task",
+    "longbench_names",
+    "longbench_task",
+    "TraceRequest",
+    "TraceSpec",
+    "generate_trace",
+    "needle_hit",
+    "recovery_ratio",
+    "softmax_weights",
+    "tokens_for_recovery",
+]

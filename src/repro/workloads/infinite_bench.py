@@ -1,0 +1,163 @@
+"""Synthetic equivalents of the ∞-Bench tasks used in Table 5 / Figure 9.
+
+Each catalog entry preserves the *sparse-attention-relevant* character of the
+original task: whether the answer hinges on exact retrieval of a few planted
+positions (Retr.*, Math.F) or on covering a broad share of the attention mass
+(En.*, Code.D), how many critical tokens the heads need, and how long the real
+contexts are (used by the latency/memory models).  The
+``paper_full_attention_score`` fields record the paper's Table 5 values for
+labelling only — the synthetic scores are coverage-based, so full attention
+scores 100 by construction here.
+"""
+
+from __future__ import annotations
+
+from .generator import ScoringMode, WorkloadSpec
+
+__all__ = ["INFINITE_BENCH_TASKS", "infinite_bench_task", "infinite_bench_names"]
+
+
+def _task(name: str, **kwargs) -> WorkloadSpec:
+    defaults = dict(
+        name=name,
+        num_layers=1,
+        num_query_heads=8,
+        num_kv_heads=4,
+        head_dim=32,
+        num_decode_steps=8,
+    )
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+INFINITE_BENCH_TASKS: dict[str, WorkloadSpec] = {
+    # exact key-value retrieval from a huge JSON: hardest retrieval task,
+    # several needles, many high-scoring distractors
+    "Retr.KV": _task(
+        "Retr.KV",
+        context_length=12288,
+        num_evidence_tokens=4,
+        evidence_margin=4.5,
+        critical_margin=9.0,
+        critical_fraction_low=0.01,
+        critical_fraction_high=0.08,
+        scoring=ScoringMode.NEEDLE,
+        paper_full_attention_score=15.8,
+        paper_context_length=89_000,
+        seed=101,
+    ),
+    # passkey retrieval: one obvious needle
+    "Retr.P": _task(
+        "Retr.P",
+        context_length=12288,
+        num_evidence_tokens=1,
+        evidence_margin=7.0,
+        critical_margin=8.0,
+        critical_fraction_low=0.001,
+        critical_fraction_high=0.01,
+        scoring=ScoringMode.NEEDLE,
+        paper_full_attention_score=100.0,
+        paper_context_length=122_000,
+        seed=102,
+    ),
+    # number retrieval: one needle, slightly more distractors
+    "Retr.N": _task(
+        "Retr.N",
+        context_length=12288,
+        num_evidence_tokens=1,
+        evidence_margin=6.5,
+        critical_margin=8.0,
+        critical_fraction_low=0.002,
+        critical_fraction_high=0.015,
+        scoring=ScoringMode.NEEDLE,
+        paper_full_attention_score=100.0,
+        paper_context_length=122_000,
+        seed=103,
+    ),
+    # code debugging: graded, moderately concentrated attention
+    "Code.D": _task(
+        "Code.D",
+        context_length=8192,
+        num_evidence_tokens=3,
+        evidence_margin=5.0,
+        critical_margin=9.0,
+        critical_fraction_low=0.005,
+        critical_fraction_high=0.03,
+        scoring=ScoringMode.RECOVERY,
+        paper_full_attention_score=27.4,
+        paper_context_length=44_000,
+        seed=104,
+    ),
+    # multiple choice over a book
+    "En.MC": _task(
+        "En.MC",
+        context_length=10240,
+        num_evidence_tokens=2,
+        evidence_margin=5.0,
+        critical_margin=9.0,
+        critical_fraction_low=0.004,
+        critical_fraction_high=0.025,
+        scoring=ScoringMode.RECOVERY,
+        paper_full_attention_score=55.9,
+        paper_context_length=184_000,
+        seed=105,
+    ),
+    # open QA over a book: needs a broader share of the context
+    "En.QA": _task(
+        "En.QA",
+        context_length=10240,
+        num_evidence_tokens=3,
+        evidence_margin=4.5,
+        critical_margin=8.5,
+        critical_fraction_low=0.01,
+        critical_fraction_high=0.05,
+        scoring=ScoringMode.RECOVERY,
+        paper_full_attention_score=31.0,
+        paper_context_length=192_600,
+        seed=106,
+    ),
+    # summarisation: attention mass is spread the widest
+    "En.Sum": _task(
+        "En.Sum",
+        context_length=10240,
+        num_evidence_tokens=4,
+        evidence_margin=4.0,
+        critical_margin=7.0,
+        critical_fraction_low=0.02,
+        critical_fraction_high=0.08,
+        scoring=ScoringMode.RECOVERY,
+        paper_full_attention_score=15.1,
+        paper_context_length=171_500,
+        seed=107,
+    ),
+    # find the minimum/maximum number in a long list: single needle whose key
+    # is frequently also the global max-inner-product key (window friendly)
+    "Math.F": _task(
+        "Math.F",
+        context_length=8192,
+        num_evidence_tokens=1,
+        evidence_margin=7.0,
+        critical_margin=7.5,
+        critical_fraction_low=0.001,
+        critical_fraction_high=0.008,
+        scoring=ScoringMode.NEEDLE,
+        paper_full_attention_score=19.1,
+        paper_context_length=43_900,
+        seed=108,
+    ),
+}
+
+
+def infinite_bench_names() -> list[str]:
+    """Task names in the paper's Table 5 column order."""
+    return list(INFINITE_BENCH_TASKS)
+
+
+def infinite_bench_task(name: str, **overrides) -> WorkloadSpec:
+    """Fetch a task spec, optionally overriding fields (e.g. a smaller context)."""
+    spec = INFINITE_BENCH_TASKS[name]
+    if not overrides:
+        return spec
+    from dataclasses import replace
+
+    return replace(spec, **overrides)

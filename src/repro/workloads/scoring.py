@@ -1,0 +1,49 @@
+"""Quality scoring of sparse-attention methods on synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_weights", "recovery_ratio", "needle_hit", "tokens_for_recovery"]
+
+
+def softmax_weights(scores: np.ndarray) -> np.ndarray:
+    """Softmax over a 1-D score vector (the true attention distribution)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - scores.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def recovery_ratio(scores: np.ndarray, attended: np.ndarray) -> float:
+    """Fraction of the full-attention probability mass captured by ``attended``.
+
+    This is the metric RetrievalAttention and the paper use to quantify how
+    well a selected token subset approximates full attention.
+    """
+    weights = softmax_weights(scores)
+    attended = np.asarray(attended, dtype=np.int64)
+    if attended.size == 0:
+        return 0.0
+    attended = np.unique(attended)
+    return float(weights[attended].sum())
+
+
+def needle_hit(evidence_positions: np.ndarray, attended: np.ndarray) -> bool:
+    """True when every evidence position is in the attended set."""
+    evidence = set(int(p) for p in np.asarray(evidence_positions).reshape(-1))
+    attended_set = set(int(p) for p in np.asarray(attended).reshape(-1))
+    return evidence.issubset(attended_set)
+
+
+def tokens_for_recovery(scores: np.ndarray, target_ratio: float = 0.9) -> int:
+    """Minimum number of top-scoring tokens needed to reach ``target_ratio``.
+
+    The per-head statistic plotted in Figure 5 of the paper.
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError(f"target_ratio must be in (0, 1], got {target_ratio}")
+    weights = softmax_weights(scores)
+    order = np.argsort(-weights)
+    cumulative = np.cumsum(weights[order])
+    return int(np.searchsorted(cumulative, target_ratio) + 1)

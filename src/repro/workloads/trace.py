@@ -1,0 +1,127 @@
+"""Request-trace generation for serving experiments.
+
+A MaaS deployment sees streams of requests in which many users ask different
+questions about a small library of shared long documents (the paper's
+financial-analysis and legal-assistant use cases).  This module synthesises
+such traces so the serving layer (:class:`repro.core.service.InferenceService`)
+and the context-reuse machinery can be exercised under a realistic request
+mix: repeated documents, varying question lengths, and occasional requests
+about documents that are not in the library at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceRequest", "RequestTrace", "TraceSpec", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a serving trace."""
+
+    request_id: int
+    document_id: str | None
+    prompt: str
+
+    @property
+    def uses_library_document(self) -> bool:
+        return self.document_id is not None
+
+
+@dataclass
+class RequestTrace:
+    """A generated request stream plus the document library it references."""
+
+    documents: dict[str, str]
+    requests: list[TraceRequest] = field(default_factory=list)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    def reuse_opportunity(self) -> float:
+        """Fraction of requests that reference a library document."""
+        if not self.requests:
+            return 0.0
+        return sum(r.uses_library_document for r in self.requests) / len(self.requests)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Shape of the generated trace."""
+
+    num_documents: int = 3
+    document_repeats: int = 30
+    """How many times the base paragraph is repeated per document (controls length)."""
+
+    num_requests: int = 12
+    fresh_request_fraction: float = 0.2
+    """Fraction of requests that do not reference any library document."""
+
+    document_popularity_skew: float = 1.5
+    """Zipf-like skew: higher values concentrate requests on few documents."""
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0:
+            raise ValueError("num_documents must be positive")
+        if not 0.0 <= self.fresh_request_fraction <= 1.0:
+            raise ValueError("fresh_request_fraction must be within [0, 1]")
+
+
+_TOPICS = [
+    "quarterly revenue recognition and segment reporting",
+    "data protection obligations for controllers and processors",
+    "supply chain risk disclosures and mitigation plans",
+    "capital adequacy and liquidity coverage requirements",
+    "source code licensing and third-party dependencies",
+    "clinical trial protocols and adverse event reporting",
+]
+
+_QUESTIONS = [
+    "Summarise the key obligations described above.",
+    "Which sections mention deadlines, and what are they?",
+    "List the risks the document highlights.",
+    "What actions does the document require from management?",
+    "Does the document define any exemptions?",
+    "Quote the passage most relevant to compliance costs.",
+]
+
+
+def generate_trace(spec: TraceSpec | None = None) -> RequestTrace:
+    """Generate a deterministic request trace according to ``spec``."""
+    spec = spec or TraceSpec()
+    rng = np.random.default_rng(spec.seed)
+
+    documents: dict[str, str] = {}
+    for index in range(spec.num_documents):
+        topic = _TOPICS[index % len(_TOPICS)]
+        paragraph = (
+            f"Document {index} covers {topic}. It enumerates requirements, exceptions and "
+            f"reporting duties in considerable detail, clause after clause. "
+        )
+        documents[f"doc-{index:02d}"] = paragraph * spec.document_repeats
+
+    # popularity-skewed document choice
+    weights = np.array([1.0 / (rank + 1) ** spec.document_popularity_skew for rank in range(spec.num_documents)])
+    weights = weights / weights.sum()
+    document_ids = list(documents)
+
+    requests: list[TraceRequest] = []
+    for request_id in range(spec.num_requests):
+        if rng.random() < spec.fresh_request_fraction:
+            prompt = (
+                f"Request {request_id}: please answer from general knowledge. "
+                + str(rng.choice(_QUESTIONS))
+            )
+            requests.append(TraceRequest(request_id=request_id, document_id=None, prompt=prompt))
+            continue
+        document_id = str(rng.choice(document_ids, p=weights))
+        question = str(rng.choice(_QUESTIONS))
+        prompt = documents[document_id] + "\nQuestion: " + question
+        requests.append(TraceRequest(request_id=request_id, document_id=document_id, prompt=prompt))
+    return RequestTrace(documents=documents, requests=requests)

@@ -1,0 +1,311 @@
+"""Tests of the core components: window cache, attention engine, optimizer,
+planner, context store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attention_engine import DataCentricAttentionEngine
+from repro.core.config import AlayaDBConfig
+from repro.core.context_store import ContextStore, StoredContext
+from repro.core.optimizer import QueryContext, RuleBasedOptimizer
+from repro.core.planner import ExecutionPlan, LayerIndexData, PlanExecutor
+from repro.core.window_cache import WindowCache
+from repro.errors import ConfigError, ContextNotFoundError, DuplicateContextError, UnsupportedQueryError
+from repro.index.coarse import CoarseBlockIndex
+from repro.index.roargraph import RoarGraphIndex
+from repro.kvcache.serialization import KVSnapshot
+from repro.llm.attention import decode_attention
+from repro.query.types import DIPRQuery, IndexKind, QueryKind, TopKQuery
+from tests.conftest import make_context
+
+
+class TestAlayaDBConfig:
+    def test_defaults_valid(self):
+        config = AlayaDBConfig()
+        assert config.window_total_tokens == 640
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            AlayaDBConfig(window_initial_tokens=-1)
+        with pytest.raises(ConfigError):
+            AlayaDBConfig(dipr_beta=-5)
+        with pytest.raises(ConfigError):
+            AlayaDBConfig(topk_k=0)
+
+    def test_beta_scaling(self):
+        config = AlayaDBConfig(dipr_beta=50.0, reference_head_dim=128)
+        assert config.scaled_beta(128) == pytest.approx(50.0)
+        assert config.scaled_beta(32) == pytest.approx(25.0)
+        frozen = AlayaDBConfig(dipr_beta=50.0, scale_beta_to_head_dim=False)
+        assert frozen.scaled_beta(32) == pytest.approx(50.0)
+
+
+class TestWindowCache:
+    def test_positions_cover_initial_and_last(self):
+        window = WindowCache(initial_tokens=4, last_tokens=4)
+        positions = window.positions(100)
+        np.testing.assert_array_equal(positions, [0, 1, 2, 3, 96, 97, 98, 99])
+
+    def test_short_context_fully_covered(self):
+        window = WindowCache(initial_tokens=8, last_tokens=8)
+        assert window.covers(12)
+        assert window.num_positions(12) == 12
+
+    def test_empty_context(self):
+        window = WindowCache(4, 4)
+        assert window.positions(0).size == 0
+
+    def test_memory_bytes(self):
+        window = WindowCache(initial_tokens=2, last_tokens=2)
+        nbytes = window.memory_bytes(100, num_kv_heads=2, head_dim=8, num_layers=3)
+        assert nbytes == 2 * 4 * 2 * 8 * 3 * 4
+
+    def test_max_window_score(self):
+        window = WindowCache(2, 2)
+        keys = np.eye(8, dtype=np.float32)[:8]
+        query = np.zeros(8, dtype=np.float32)
+        query[7] = 3.0
+        positions = window.positions(8)
+        assert window.max_window_score(query, keys, positions) == pytest.approx(3.0)
+        assert window.max_window_score(query, keys, np.empty(0, dtype=np.int64)) == float("-inf")
+
+
+class TestAttentionEngine:
+    def test_merged_output_matches_exact(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(60, 8)).astype(np.float32)
+        values = rng.normal(size=(60, 8)).astype(np.float32)
+        local_k = rng.normal(size=(5, 8)).astype(np.float32)
+        local_v = rng.normal(size=(5, 8)).astype(np.float32)
+        query = rng.normal(size=8).astype(np.float32)
+        engine = DataCentricAttentionEngine()
+        window = np.arange(0, 10)
+        retrieved = np.arange(30, 45)
+        output, breakdown = engine.head_output(query, keys, values, window, retrieved, local_k, local_v)
+        # exact attention over the union of attended tokens
+        attended = np.concatenate([window, retrieved])
+        all_k = np.concatenate([keys[attended], local_k])[None, :, :]
+        all_v = np.concatenate([values[attended], local_v])[None, :, :]
+        expected = decode_attention(query[None, :], all_k, all_v)[0]
+        np.testing.assert_allclose(output, expected, atol=1e-5)
+        assert breakdown.total_tokens == 10 + 15 + 5
+
+    def test_overlapping_positions_not_double_counted(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(40, 8)).astype(np.float32)
+        values = rng.normal(size=(40, 8)).astype(np.float32)
+        query = rng.normal(size=8).astype(np.float32)
+        engine = DataCentricAttentionEngine()
+        window = np.arange(0, 20)
+        retrieved = np.arange(10, 30)  # overlaps the window
+        output, breakdown = engine.head_output(query, keys, values, window, retrieved)
+        attended = np.arange(0, 30)
+        expected = decode_attention(query[None, :], keys[None, attended], values[None, attended])[0]
+        np.testing.assert_allclose(output, expected, atol=1e-5)
+        assert breakdown.num_retrieved_tokens == 10
+
+    def test_empty_everything_returns_zeros(self):
+        engine = DataCentricAttentionEngine()
+        output, breakdown = engine.head_output(
+            np.ones(4, dtype=np.float32),
+            np.zeros((0, 4), dtype=np.float32),
+            np.zeros((0, 4), dtype=np.float32),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert np.allclose(output, 0.0)
+        assert breakdown.total_tokens == 0
+
+    def test_full_output_matches_decode_attention(self):
+        rng = np.random.default_rng(2)
+        keys = rng.normal(size=(30, 8)).astype(np.float32)
+        values = rng.normal(size=(30, 8)).astype(np.float32)
+        query = rng.normal(size=8).astype(np.float32)
+        engine = DataCentricAttentionEngine()
+        output = engine.full_output(query, keys, values)
+        expected = decode_attention(query[None, :], keys[None], values[None])[0]
+        np.testing.assert_allclose(output, expected, atol=1e-5)
+
+
+class TestContextStore:
+    def test_add_get_remove(self, random_context):
+        store = ContextStore()
+        store.add(random_context)
+        assert len(store) == 1
+        assert store.get("ctx-test") is random_context
+        store.remove("ctx-test")
+        assert len(store) == 0
+
+    def test_duplicate_rejected(self, random_context):
+        store = ContextStore()
+        store.add(random_context)
+        with pytest.raises(DuplicateContextError):
+            store.add(random_context)
+        store.add(random_context, overwrite=True)
+
+    def test_missing_context_raises(self):
+        store = ContextStore()
+        with pytest.raises(ContextNotFoundError):
+            store.get("missing")
+
+    def test_longest_prefix_match(self):
+        store = ContextStore()
+        context_a = make_context(num_tokens=16, seed=1, context_id="a")
+        context_a.snapshot.tokens[:] = list(range(16))
+        context_b = make_context(num_tokens=16, seed=2, context_id="b")
+        context_b.snapshot.tokens[:] = list(range(8)) + [99] * 8
+        store.add(context_a)
+        store.add(context_b)
+        match = store.find_longest_prefix(list(range(12)) + [1000])
+        assert match.context.context_id == "a"
+        assert match.prefix_length == 12
+        miss = store.find_longest_prefix([777, 888])
+        assert not miss.is_hit
+
+    def test_full_reuse_detection(self):
+        store = ContextStore()
+        context = make_context(num_tokens=8, context_id="full")
+        context.snapshot.tokens[:] = list(range(8))
+        store.add(context)
+        match = store.find_longest_prefix(list(range(8)) + [42])
+        assert match.is_full_reuse
+
+    def test_persist_and_load(self, tmp_path):
+        store = ContextStore(storage_dir=tmp_path)
+        context = make_context(context_id="persisted")
+        store.add(context)
+        store.persist("persisted")
+        fresh_store = ContextStore(storage_dir=tmp_path)
+        loaded = fresh_store.load_persisted("persisted")
+        assert loaded.num_tokens == context.num_tokens
+
+    def test_persist_without_dir_raises(self, random_context):
+        store = ContextStore()
+        store.add(random_context)
+        with pytest.raises(ValueError):
+            store.persist("ctx-test")
+
+
+class TestOptimizer:
+    def _query_context(self, **kwargs):
+        defaults = dict(
+            context_length=100_000,
+            layer=1,
+            head_dim=128,
+            num_kv_heads=8,
+            num_layers=32,
+            kv_bytes_per_token=131072,
+        )
+        defaults.update(kwargs)
+        return QueryContext(**defaults)
+
+    def test_short_context_full_attention(self):
+        optimizer = RuleBasedOptimizer(AlayaDBConfig(short_context_threshold=1024))
+        plan = optimizer.plan(self._query_context(context_length=512))
+        assert plan.is_full_attention
+
+    def test_large_budget_selects_coarse_topk(self):
+        optimizer = RuleBasedOptimizer()
+        plan = optimizer.plan(self._query_context(gpu_memory_budget_bytes=10**15))
+        assert plan.query_kind == QueryKind.TOP_K
+        assert plan.index_kind == IndexKind.COARSE
+
+    def test_small_budget_selects_dipr(self):
+        optimizer = RuleBasedOptimizer()
+        plan = optimizer.plan(self._query_context(gpu_memory_budget_bytes=1))
+        assert plan.query_kind == QueryKind.DIPR
+        assert plan.index_kind == IndexKind.FINE
+
+    def test_first_layer_uses_flat_index(self):
+        optimizer = RuleBasedOptimizer()
+        plan = optimizer.plan(self._query_context(layer=0, gpu_memory_budget_bytes=1))
+        assert plan.index_kind == IndexKind.FLAT
+
+    def test_partial_reuse_adds_predicate(self):
+        optimizer = RuleBasedOptimizer()
+        plan = optimizer.plan(
+            self._query_context(gpu_memory_budget_bytes=1, reused_prefix_length=40_000)
+        )
+        assert plan.predicate is not None
+        assert plan.predicate.max_position == 40_000
+
+    def test_beta_scaled_to_head_dim(self):
+        optimizer = RuleBasedOptimizer(AlayaDBConfig(dipr_beta=50.0))
+        plan = optimizer.plan(self._query_context(head_dim=32, gpu_memory_budget_bytes=1))
+        assert plan.query.beta == pytest.approx(25.0)
+
+    def test_plan_all_layers(self):
+        optimizer = RuleBasedOptimizer()
+        plans = optimizer.plan_all_layers(self._query_context(num_layers=4, gpu_memory_budget_bytes=1))
+        assert set(plans) == {0, 1, 2, 3}
+        assert plans[0].index_kind == IndexKind.FLAT
+        assert plans[3].index_kind == IndexKind.FINE
+
+    def test_custom_rule_takes_priority(self):
+        optimizer = RuleBasedOptimizer()
+        sentinel = ExecutionPlan(query_kind=QueryKind.FULL, index_kind=None)
+        optimizer.register_rule(lambda qc, cfg: sentinel, priority=0)
+        assert optimizer.plan(self._query_context()) is sentinel
+
+    def test_plan_describe(self):
+        plan = ExecutionPlan(
+            query_kind=QueryKind.DIPR, index_kind=IndexKind.FINE, query=DIPRQuery(beta=25.0)
+        )
+        assert "dipr" in plan.describe()
+        assert "beta=25.00" in plan.describe()
+
+
+class TestPlanExecutor:
+    def _layer_data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(2, n, 16)).astype(np.float32)
+        fine = []
+        coarse = []
+        for kv_head in range(2):
+            index = RoarGraphIndex()
+            index.build(keys[kv_head])
+            fine.append(index)
+            block = CoarseBlockIndex(block_size=64)
+            block.build(keys[kv_head])
+            coarse.append(block)
+        return LayerIndexData(keys=keys, fine_indexes=fine, coarse_indexes=coarse, shared=True, gqa_group_size=2), keys
+
+    def test_flat_dipr_path(self):
+        data, keys = self._layer_data()
+        executor = PlanExecutor()
+        plan = ExecutionPlan(QueryKind.DIPR, IndexKind.FLAT, query=DIPRQuery(beta=5.0))
+        query = np.random.default_rng(1).normal(size=16).astype(np.float32)
+        outcome = executor.retrieve(plan, data, query_head=0, query=query)
+        scores = keys[0] @ query
+        assert np.all(scores[outcome.positions] >= scores.max() - 5.0 - 1e-4)
+
+    def test_fine_topk_path(self):
+        data, _ = self._layer_data()
+        executor = PlanExecutor()
+        plan = ExecutionPlan(QueryKind.TOP_K, IndexKind.FINE, query=TopKQuery(k=10))
+        query = np.random.default_rng(2).normal(size=16).astype(np.float32)
+        outcome = executor.retrieve(plan, data, query_head=3, query=query)
+        assert outcome.num_selected == 10
+
+    def test_coarse_topk_path(self):
+        data, _ = self._layer_data()
+        executor = PlanExecutor(coarse_num_blocks=2)
+        plan = ExecutionPlan(QueryKind.TOP_K, IndexKind.COARSE, query=TopKQuery(k=10))
+        query = np.random.default_rng(3).normal(size=16).astype(np.float32)
+        outcome = executor.retrieve(plan, data, query_head=0, query=query)
+        assert outcome.num_selected == 128  # 2 blocks of 64 tokens
+
+    def test_coarse_rejects_dipr(self):
+        data, _ = self._layer_data()
+        executor = PlanExecutor()
+        plan = ExecutionPlan(QueryKind.DIPR, IndexKind.COARSE, query=DIPRQuery(beta=5.0))
+        with pytest.raises(UnsupportedQueryError):
+            executor.retrieve(plan, data, 0, np.zeros(16, dtype=np.float32))
+
+    def test_query_head_maps_to_kv_head(self):
+        data, _ = self._layer_data()
+        assert data.kv_head_for_query_head(0) == 0
+        assert data.kv_head_for_query_head(3) == 1
+        assert data.fine_index_for_query_head(0) is data.fine_index_for_query_head(1)

@@ -1,0 +1,94 @@
+"""Property-based tests of session-level invariants.
+
+These exercise the decoupled attention path with randomly shaped inputs and
+check the invariants that the data-centric engine and the session bookkeeping
+must preserve regardless of configuration: sparse outputs are convex
+combinations of values, sequence lengths are additive, and the prefix-reuse
+accounting never loses tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attention_engine import DataCentricAttentionEngine
+from repro.core.config import AlayaDBConfig
+from repro.core.context_store import ContextStore, StoredContext
+from repro.core.session import Session
+from repro.kvcache.serialization import KVSnapshot
+from repro.llm.attention import decode_attention
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    num_tokens=st.integers(min_value=1, max_value=64),
+    num_window=st.integers(min_value=0, max_value=16),
+    num_retrieved=st.integers(min_value=0, max_value=32),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_head_output_is_exact_over_attended_union(num_tokens, num_window, num_retrieved, seed):
+    """Merging partials over any window/retrieved split equals one softmax."""
+    rng = np.random.default_rng(seed)
+    dim = 8
+    keys = rng.normal(size=(num_tokens, dim)).astype(np.float32)
+    values = rng.normal(size=(num_tokens, dim)).astype(np.float32)
+    query = rng.normal(size=dim).astype(np.float32)
+    window = rng.choice(num_tokens, size=min(num_window, num_tokens), replace=False)
+    retrieved = rng.choice(num_tokens, size=min(num_retrieved, num_tokens), replace=False)
+    engine = DataCentricAttentionEngine()
+    output, _ = engine.head_output(query, keys, values, window, retrieved)
+    attended = np.union1d(window, retrieved).astype(np.int64)
+    if attended.size == 0:
+        assert np.allclose(output, 0.0)
+        return
+    expected = decode_attention(query[None, :], keys[None, attended], values[None, attended])[0]
+    np.testing.assert_allclose(output, expected, atol=1e-4)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    prefix=st.integers(min_value=0, max_value=40),
+    appended=st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_sequence_length_is_additive(prefix, appended, seed):
+    """sequence_length == reused prefix + locally appended tokens."""
+    rng = np.random.default_rng(seed)
+    context = None
+    if prefix > 0:
+        keys = {0: rng.normal(size=(1, prefix, 4)).astype(np.float32)}
+        values = {0: rng.normal(size=(1, prefix, 4)).astype(np.float32)}
+        snapshot = KVSnapshot(tokens=list(range(prefix)), keys=keys, values=values)
+        context = StoredContext(context_id="p", snapshot=snapshot)
+    session = Session(AlayaDBConfig(), context=context, reused_prefix_length=prefix, num_layers=1)
+    total_appended = 0
+    for chunk in appended:
+        q = rng.normal(size=(2, chunk, 4)).astype(np.float32)
+        k = rng.normal(size=(1, chunk, 4)).astype(np.float32)
+        v = rng.normal(size=(1, chunk, 4)).astype(np.float32)
+        session.update_query(q, k, v, layer=0)
+        total_appended += chunk
+    assert session.sequence_length(0) == prefix + total_appended
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    shared=st.integers(min_value=0, max_value=30),
+    extra_a=st.integers(min_value=1, max_value=20),
+    extra_b=st.integers(min_value=1, max_value=20),
+)
+def test_prefix_matching_is_exactly_the_common_prefix(shared, extra_a, extra_b):
+    """The context store finds exactly the shared prefix, never more."""
+    store = ContextStore()
+    stored_tokens = list(range(shared)) + [1000 + i for i in range(extra_a)]
+    keys = {0: np.zeros((1, len(stored_tokens), 4), dtype=np.float32)}
+    values = {0: np.zeros((1, len(stored_tokens), 4), dtype=np.float32)}
+    store.add(StoredContext("ctx", KVSnapshot(tokens=stored_tokens, keys=keys, values=values)))
+    probe = list(range(shared)) + [2000 + i for i in range(extra_b)]
+    match = store.find_longest_prefix(probe)
+    if shared == 0:
+        assert match.prefix_length == 0
+    else:
+        assert match.prefix_length == shared

@@ -1,0 +1,276 @@
+"""Tests of the vector indexes: flat, graph, HNSW, RoarGraph, coarse, builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexNotBuiltError
+from repro.index.base import SearchResult
+from repro.index.builder import ContextIndexBuilder, IndexBuildConfig
+from repro.index.coarse import CoarseBlockIndex
+from repro.index.flat import FlatIndex
+from repro.index.graph import NeighborGraph, beam_search
+from repro.index.hnsw import HNSWIndex
+from repro.index.knn_graph import cross_knn, exact_knn, nn_descent_knn
+from repro.index.roargraph import RoarGraphConfig, RoarGraphIndex
+
+
+def _vectors(n=500, dim=16, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dim)).astype(np.float32)
+
+
+class TestNeighborGraph:
+    def test_from_lists_roundtrip(self):
+        lists = [[1, 2], [0], [0, 1], []]
+        graph = NeighborGraph.from_lists(lists)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 5
+        assert graph.to_lists() == lists
+
+    def test_neighbors_slice(self):
+        graph = NeighborGraph.from_lists([[1], [0, 2], [1]])
+        np.testing.assert_array_equal(graph.neighbors(1), [0, 2])
+        assert graph.degree(1) == 2
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborGraph(np.asarray([1, 2]), np.asarray([1, 2]))
+
+    def test_beam_search_finds_best_on_connected_graph(self):
+        vectors = _vectors(200, 8)
+        knn = exact_knn(vectors, 8)
+        graph = NeighborGraph.from_lists([list(row) for row in knn])
+        query = np.random.default_rng(1).normal(size=8).astype(np.float32)
+        truth = int(np.argmax(vectors @ query))
+        indices, scores, stats = beam_search(vectors, graph, query, ef=32, entry_points=[0])
+        assert truth in indices[:5]
+        assert stats.num_distance_computations > 0
+
+
+class TestKNNConstruction:
+    def test_exact_knn_correct(self):
+        vectors = _vectors(50, 8)
+        neighbors = exact_knn(vectors, 3)
+        scores = vectors @ vectors.T
+        np.fill_diagonal(scores, -np.inf)
+        for node in range(50):
+            expected = set(np.argsort(-scores[node])[:3].tolist())
+            assert set(neighbors[node].tolist()) == expected
+
+    def test_exact_knn_blocked_matches_unblocked(self):
+        vectors = _vectors(100, 8)
+        np.testing.assert_array_equal(exact_knn(vectors, 5, block_size=7), exact_knn(vectors, 5))
+
+    def test_cross_knn_correct(self):
+        base = _vectors(80, 8, seed=1)
+        queries = _vectors(10, 8, seed=2)
+        links = cross_knn(queries, base, 4)
+        scores = queries @ base.T
+        for i in range(10):
+            assert set(links[i].tolist()) == set(np.argsort(-scores[i])[:4].tolist())
+
+    def test_nn_descent_reasonable_recall(self):
+        vectors = _vectors(300, 8)
+        approx = nn_descent_knn(vectors, 8, num_iterations=6, seed=0)
+        exact = exact_knn(vectors, 8)
+        recall = np.mean([
+            len(set(approx[i]) & set(exact[i])) / 8 for i in range(300)
+        ])
+        assert recall > 0.5
+
+
+class TestFlatIndex:
+    def test_topk_matches_numpy(self):
+        vectors = _vectors()
+        index = FlatIndex()
+        index.build(vectors)
+        query = np.random.default_rng(3).normal(size=16).astype(np.float32)
+        result = index.search_topk(query, 10)
+        expected = np.argsort(-(vectors @ query))[:10]
+        np.testing.assert_array_equal(result.indices, expected)
+
+    def test_range_query_semantics(self):
+        vectors = _vectors()
+        index = FlatIndex()
+        index.build(vectors)
+        query = np.random.default_rng(4).normal(size=16).astype(np.float32)
+        beta = 2.0
+        result = index.search_range(query, beta)
+        scores = vectors @ query
+        expected = np.flatnonzero(scores >= scores.max() - beta)
+        assert set(result.indices.tolist()) == set(expected.tolist())
+
+    def test_allowed_mask_restricts_results(self):
+        vectors = _vectors(100)
+        index = FlatIndex()
+        index.build(vectors)
+        query = np.random.default_rng(5).normal(size=16).astype(np.float32)
+        allowed = np.zeros(100, dtype=bool)
+        allowed[:30] = True
+        result = index.search_topk(query, 10, allowed=allowed)
+        assert (result.indices < 30).all()
+
+    def test_append(self):
+        index = FlatIndex()
+        index.build(_vectors(10))
+        index.append(_vectors(5, seed=9))
+        assert index.num_vectors == 15
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(IndexNotBuiltError):
+            FlatIndex().search_topk(np.zeros(4, dtype=np.float32), 1)
+
+    @settings(deadline=None, max_examples=25)
+    @given(beta=st.floats(min_value=0.0, max_value=10.0), seed=st.integers(0, 50))
+    def test_property_range_results_within_beta(self, beta, seed):
+        vectors = _vectors(128, 8, seed=seed)
+        index = FlatIndex()
+        index.build(vectors)
+        query = np.random.default_rng(seed + 1).normal(size=8).astype(np.float32)
+        result = index.search_range(query, beta)
+        scores = vectors @ query
+        assert len(result) >= 1
+        assert np.all(result.scores >= scores.max() - beta - 1e-5)
+        # every non-returned vector is below the threshold
+        excluded = np.setdiff1d(np.arange(128), result.indices)
+        if excluded.size:
+            assert np.all(scores[excluded] < scores.max() - beta + 1e-5)
+
+
+class TestHNSW:
+    def test_recall_against_brute_force(self):
+        vectors = _vectors(400, 16)
+        index = HNSWIndex(max_degree=12, ef_construction=48, seed=0)
+        index.build(vectors)
+        queries = _vectors(20, 16, seed=7)
+        hits, total = 0, 0
+        for query in queries:
+            truth = set(index.exact_topk(query, 10).indices.tolist())
+            found = set(index.search_topk(query, 10, ef=64).indices.tolist())
+            hits += len(truth & found)
+            total += 10
+        assert hits / total > 0.7
+
+    def test_memory_accounting(self):
+        index = HNSWIndex()
+        index.build(_vectors(100))
+        assert index.memory_bytes > _vectors(100).nbytes
+
+
+class TestRoarGraph:
+    def test_recall_with_ood_queries(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(1000, 16)).astype(np.float32)
+        queries = (rng.normal(size=(300, 16)) + 0.8).astype(np.float32)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries[:200])
+        assert index.recall_at_k(queries[200:220], 10) > 0.8
+
+    def test_builds_without_query_sample(self):
+        index = RoarGraphIndex()
+        index.build(_vectors(200))
+        assert index.graph.num_nodes == 200
+        result = index.search_topk(np.random.default_rng(1).normal(size=16).astype(np.float32), 5)
+        assert len(result) == 5
+
+    def test_max_degree_respected(self):
+        config = RoarGraphConfig(max_degree=8)
+        index = RoarGraphIndex(config)
+        index.build(_vectors(300), query_sample=_vectors(100, seed=2))
+        degrees = [index.graph.degree(node) for node in range(index.graph.num_nodes)]
+        assert max(degrees) <= 8
+
+    def test_entry_point_is_max_norm(self):
+        vectors = _vectors(100)
+        vectors[42] *= 10.0
+        index = RoarGraphIndex()
+        index.build(vectors)
+        assert index.entry_point == 42
+
+    def test_graph_has_no_self_loops_after_prune(self):
+        index = RoarGraphIndex(RoarGraphConfig(max_degree=6))
+        index.build(_vectors(150))
+        for node in range(index.graph.num_nodes):
+            assert node not in set(index.graph.neighbors(node).tolist())
+
+
+class TestCoarseIndex:
+    def test_block_partitioning(self):
+        index = CoarseBlockIndex(block_size=32)
+        index.build(_vectors(100))
+        assert index.num_blocks == 4
+        assert index.blocks[-1].num_tokens == 4
+
+    def test_selected_positions_are_block_aligned(self):
+        index = CoarseBlockIndex(block_size=25)
+        index.build(_vectors(100))
+        query = np.random.default_rng(6).normal(size=16).astype(np.float32)
+        positions = index.selected_positions(query, 2)
+        assert positions.shape[0] == 50
+
+    def test_topk_covers_best_token_when_block_found(self):
+        vectors = _vectors(256)
+        query = np.random.default_rng(8).normal(size=16).astype(np.float32)
+        # plant an extreme token so its block is certainly selected
+        vectors[100] = query * 10
+        index = CoarseBlockIndex(block_size=32, num_representatives=4)
+        index.build(vectors)
+        result = index.search_topk(query, 5)
+        assert 100 in result.indices
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CoarseBlockIndex(block_size=0)
+
+
+class TestContextIndexBuilder:
+    def _layer_data(self, num_kv=2, num_q=4, n=300, dim=16, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = rng.normal(size=(num_kv, n, dim)).astype(np.float32)
+        queries = rng.normal(size=(num_q, 64, dim)).astype(np.float32)
+        return keys, queries
+
+    def test_gqa_sharing_reduces_index_count(self):
+        keys, queries = self._layer_data()
+        shared_builder = ContextIndexBuilder(IndexBuildConfig(gqa_share=True))
+        per_head_builder = ContextIndexBuilder(IndexBuildConfig(gqa_share=False))
+        shared, shared_report = shared_builder.build_layer(0, keys, queries)
+        per_head, per_head_report = per_head_builder.build_layer(0, keys, queries)
+        assert shared_report.num_indexes == 2
+        assert per_head_report.num_indexes == 4
+        assert shared_report.index_memory_bytes < per_head_report.index_memory_bytes
+
+    def test_index_lookup_by_query_head(self):
+        keys, queries = self._layer_data()
+        builder = ContextIndexBuilder(IndexBuildConfig(gqa_share=True))
+        layer_indexes, _ = builder.build_layer(0, keys, queries)
+        assert layer_indexes.index_for_query_head(0) is layer_indexes.index_for_query_head(1)
+        assert layer_indexes.index_for_query_head(0) is not layer_indexes.index_for_query_head(2)
+
+    def test_gpu_backend_models_speedup(self):
+        keys, queries = self._layer_data()
+        cpu = ContextIndexBuilder(IndexBuildConfig(backend="cpu", gqa_share=False))
+        gpu = ContextIndexBuilder(IndexBuildConfig(backend="gpu", gqa_share=False))
+        _, cpu_report = cpu.build_layer(0, keys, queries)
+        _, gpu_report = gpu.build_layer(0, keys, queries)
+        assert gpu_report.modeled_seconds < cpu_report.modeled_seconds
+
+    def test_build_context_aggregates_layers(self):
+        keys, queries = self._layer_data()
+        builder = ContextIndexBuilder()
+        layer_indexes, report = builder.build_context({0: keys, 1: keys}, {0: queries, 1: queries})
+        assert set(layer_indexes) == {0, 1}
+        assert report.num_indexes == 4
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            IndexBuildConfig(backend="tpu")
+
+    def test_search_result_top(self):
+        result = SearchResult(indices=np.arange(10), scores=np.arange(10, 0, -1).astype(np.float32))
+        top = result.top(3)
+        assert len(top) == 3
+        np.testing.assert_array_equal(top.indices, [0, 1, 2])

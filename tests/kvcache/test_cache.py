@@ -1,0 +1,206 @@
+"""Tests of the KV cache implementations and serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.kvcache.cache import DynamicCache, LayerKVCache
+from repro.kvcache.compression import compress_kv, decompress_kv, dequantize_tensor, quantize_tensor
+from repro.kvcache.paged import PagedKVCache, PagedLayerCache
+from repro.kvcache.serialization import KVSnapshot, load_snapshot, save_snapshot, snapshot_from_cache
+
+
+def _kv(num_heads=2, n=4, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(num_heads, n, dim)).astype(np.float32),
+        rng.normal(size=(num_heads, n, dim)).astype(np.float32),
+    )
+
+
+class TestLayerKVCache:
+    def test_append_and_read(self):
+        cache = LayerKVCache(2, 8, initial_capacity=2)
+        k1, v1 = _kv(n=3)
+        cache.append(k1, v1)
+        assert len(cache) == 3
+        np.testing.assert_array_equal(cache.keys, k1)
+        k2, v2 = _kv(n=5, seed=1)
+        cache.append(k2, v2)
+        assert len(cache) == 8
+        np.testing.assert_array_equal(cache.keys[:, 3:], k2)
+
+    def test_capacity_growth_is_amortised(self):
+        cache = LayerKVCache(1, 4, initial_capacity=1)
+        for i in range(20):
+            k, v = _kv(num_heads=1, n=1, dim=4, seed=i)
+            cache.append(k, v)
+        assert len(cache) == 20
+        assert cache._capacity >= 20
+
+    def test_shape_mismatch_rejected(self):
+        cache = LayerKVCache(2, 8)
+        k, v = _kv(num_heads=3)
+        with pytest.raises(ValueError):
+            cache.append(k, v)
+
+    def test_gather_and_slice(self):
+        cache = LayerKVCache(2, 8)
+        k, v = _kv(n=10)
+        cache.append(k, v)
+        gk, gv = cache.gather(np.asarray([0, 5, 9]))
+        np.testing.assert_array_equal(gk, k[:, [0, 5, 9], :])
+        sk, _ = cache.slice(2, 4)
+        np.testing.assert_array_equal(sk, k[:, 2:4, :])
+
+    def test_nbytes_tracks_used_portion(self):
+        cache = LayerKVCache(1, 4, initial_capacity=128)
+        k, v = _kv(num_heads=1, n=2, dim=4)
+        cache.append(k, v)
+        assert cache.nbytes == 2 * 2 * 4 * 4
+
+
+class TestDynamicCache:
+    def test_update_returns_full_kv(self):
+        cache = DynamicCache()
+        k1, v1 = _kv(n=3)
+        keys, values = cache.update(k1, v1, layer=0)
+        assert keys.shape == (2, 3, 8)
+        k2, v2 = _kv(n=2, seed=1)
+        keys, values = cache.update(k2, v2, layer=0)
+        assert keys.shape == (2, 5, 8)
+
+    def test_layers_are_independent(self):
+        cache = DynamicCache()
+        k, v = _kv(n=3)
+        cache.update(k, v, layer=0)
+        cache.update(k, v, layer=2)
+        assert cache.sequence_length(0) == 3
+        assert cache.sequence_length(1) == 0
+        assert cache.sequence_length(2) == 3
+
+    def test_nbytes(self):
+        cache = DynamicCache()
+        k, v = _kv(n=4)
+        cache.update(k, v, layer=0)
+        assert cache.nbytes == k.nbytes + v.nbytes
+
+
+class TestPagedCache:
+    def test_matches_contiguous_cache(self):
+        paged = PagedLayerCache(2, 8, page_size=3)
+        k, v = _kv(n=10)
+        paged.append(k, v)
+        mk, mv = paged.materialize()
+        np.testing.assert_array_equal(mk, k)
+        np.testing.assert_array_equal(mv, v)
+
+    def test_page_count(self):
+        paged = PagedLayerCache(1, 4, page_size=4, initial_pages=0)
+        k, v = _kv(num_heads=1, n=10, dim=4)
+        paged.append(k, v)
+        assert paged.num_pages_in_use == 3
+
+    def test_release_recycles_pages(self):
+        paged = PagedLayerCache(1, 4, page_size=4, initial_pages=0)
+        k, v = _kv(num_heads=1, n=8, dim=4)
+        paged.append(k, v)
+        total_before = paged.num_pages_total
+        paged.release()
+        paged.append(k, v)
+        assert paged.num_pages_total == total_before
+
+    def test_gather(self):
+        paged = PagedLayerCache(2, 8, page_size=3)
+        k, v = _kv(n=7)
+        paged.append(k, v)
+        gk, gv = paged.gather(np.asarray([6, 0, 3]))
+        np.testing.assert_array_equal(gk, k[:, [6, 0, 3], :])
+
+    def test_multi_layer_protocol(self):
+        cache = PagedKVCache(page_size=4)
+        k, v = _kv(n=5)
+        keys, values = cache.update(k, v, layer=0)
+        np.testing.assert_allclose(keys, k, atol=1e-6)
+        assert cache.sequence_length(0) == 5
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        page_size=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_paged_equals_contiguous(self, n, page_size, seed):
+        paged = PagedLayerCache(1, 4, page_size=page_size)
+        flat = LayerKVCache(1, 4)
+        rng = np.random.default_rng(seed)
+        remaining = n
+        while remaining > 0:
+            chunk = int(rng.integers(1, remaining + 1))
+            k = rng.normal(size=(1, chunk, 4)).astype(np.float32)
+            v = rng.normal(size=(1, chunk, 4)).astype(np.float32)
+            paged.append(k, v)
+            flat.append(k, v)
+            remaining -= chunk
+        pk, pv = paged.materialize()
+        np.testing.assert_allclose(pk, flat.keys, atol=1e-6)
+        np.testing.assert_allclose(pv, flat.values, atol=1e-6)
+
+
+class TestCompression:
+    def test_quantise_roundtrip_error_is_bounded(self):
+        x = np.random.default_rng(0).normal(size=(4, 100, 16)).astype(np.float32)
+        q = quantize_tensor(x)
+        restored = dequantize_tensor(q)
+        max_per_channel = np.abs(x).max(axis=(0, 1))
+        assert np.all(np.abs(restored - x) <= max_per_channel / 127.0 + 1e-6)
+
+    def test_compression_reduces_size(self):
+        x = np.random.default_rng(0).normal(size=(4, 256, 32)).astype(np.float32)
+        q = quantize_tensor(x)
+        assert q.nbytes < x.nbytes / 3
+
+    def test_compress_kv_roundtrip(self):
+        k, v = _kv(n=32)
+        compressed = compress_kv({0: k}, {0: v})
+        keys, values = decompress_kv(compressed)
+        assert keys[0].shape == k.shape
+        assert np.abs(keys[0] - k).max() < 0.1
+
+    def test_layer_mismatch_rejected(self):
+        k, v = _kv(n=4)
+        with pytest.raises(ValueError):
+            compress_kv({0: k}, {1: v})
+
+
+class TestSerialization:
+    def test_snapshot_roundtrip(self, tmp_path):
+        k, v = _kv(n=6)
+        snapshot = KVSnapshot(tokens=list(range(6)), keys={0: k}, values={0: v})
+        save_snapshot(snapshot, tmp_path, "ctx")
+        loaded = load_snapshot(tmp_path, "ctx")
+        assert loaded.tokens == list(range(6))
+        np.testing.assert_allclose(loaded.keys[0], k, atol=1e-6)
+
+    def test_validation_rejects_token_mismatch(self):
+        k, v = _kv(n=6)
+        snapshot = KVSnapshot(tokens=[1, 2], keys={0: k}, values={0: v})
+        with pytest.raises(StorageError):
+            snapshot.validate()
+
+    def test_snapshot_from_cache(self):
+        cache = DynamicCache()
+        k, v = _kv(n=4)
+        cache.update(k, v, layer=0)
+        cache.update(k, v, layer=1)
+        snapshot = snapshot_from_cache(list(range(4)), cache)
+        assert snapshot.num_layers == 2
+        assert snapshot.num_tokens == 4
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_snapshot(tmp_path, "nope")

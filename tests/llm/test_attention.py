@@ -1,0 +1,175 @@
+"""Tests of the exact attention kernels and the partial-attention merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.attention import (
+    PartialAttention,
+    attention_weights,
+    decode_attention,
+    full_attention,
+    merge_partial_attention,
+    partial_attention,
+    repeat_kv,
+    softmax,
+    sparse_attention,
+)
+
+
+def _random_qkv(num_heads=4, num_kv_heads=2, seq=32, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(num_heads, dim)).astype(np.float32)
+    k = rng.normal(size=(num_kv_heads, seq, dim)).astype(np.float32)
+    v = rng.normal(size=(num_kv_heads, seq, dim)).astype(np.float32)
+    return q, k, v
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(3, 7)).astype(np.float32)
+        w = softmax(x)
+        np.testing.assert_allclose(w.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_shift_invariance(self):
+        x = np.asarray([1.0, 2.0, 3.0], dtype=np.float32)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-5)
+
+    def test_handles_large_values_without_overflow(self):
+        x = np.asarray([1e4, 1e4 - 1.0], dtype=np.float32)
+        w = softmax(x)
+        assert np.isfinite(w).all()
+
+
+class TestRepeatKV:
+    def test_identity_when_heads_match(self):
+        kv = np.zeros((4, 3, 2), dtype=np.float32)
+        assert repeat_kv(kv, 4) is kv
+
+    def test_expansion_factor(self):
+        kv = np.arange(2 * 3 * 2, dtype=np.float32).reshape(2, 3, 2)
+        out = repeat_kv(kv, 6)
+        assert out.shape == (6, 3, 2)
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(out[0], out[2])
+        np.testing.assert_array_equal(out[3], kv[1])
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            repeat_kv(np.zeros((3, 2, 2), dtype=np.float32), 4)
+
+
+class TestCausalAttention:
+    def test_causal_mask_blocks_future(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        w = attention_weights(q, k, causal=True)
+        upper = np.triu_indices(4, k=1)
+        assert np.allclose(w[0][upper], 0.0)
+
+    def test_causal_offset_for_cached_prefix(self):
+        # 2 new queries attending over 6 cached keys: the first query sees 5
+        # keys (its own position), the second all 6.
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(1, 2, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        w = attention_weights(q, k, causal=True)
+        assert w[0, 0, 5] == 0.0
+        assert w[0, 1, 5] > 0.0
+
+    def test_full_attention_matches_manual(self):
+        q, k, v = _random_qkv()
+        out = decode_attention(q, k, v)
+        k_r, v_r = repeat_kv(k, 4), repeat_kv(v, 4)
+        for head in range(4):
+            logits = k_r[head] @ q[head] / np.sqrt(8)
+            weights = np.exp(logits - logits.max())
+            weights /= weights.sum()
+            expected = weights @ v_r[head]
+            np.testing.assert_allclose(out[head], expected, rtol=1e-4)
+
+    def test_gqa_equivalence_with_repeated_heads(self):
+        q, k, v = _random_qkv(num_heads=4, num_kv_heads=2)
+        grouped = decode_attention(q, k, v)
+        expanded = decode_attention(q, repeat_kv(k, 4), repeat_kv(v, 4))
+        np.testing.assert_allclose(grouped, expanded, rtol=1e-5)
+
+
+class TestSparseAttention:
+    def test_selecting_all_matches_full(self):
+        q, k, v = _random_qkv(seq=16)
+        full = decode_attention(q, k, v)
+        sparse = sparse_attention(q, k, v, np.arange(16))
+        np.testing.assert_allclose(full, sparse, rtol=1e-5)
+
+    def test_subset_changes_output(self):
+        q, k, v = _random_qkv(seq=16)
+        sparse = sparse_attention(q, k, v, np.arange(4))
+        full = decode_attention(q, k, v)
+        assert not np.allclose(sparse, full)
+
+
+class TestPartialAttentionMerge:
+    def test_two_way_split_matches_full(self):
+        q, k, v = _random_qkv(seq=50, seed=3)
+        full = decode_attention(q, k, v)
+        parts = [
+            partial_attention(q, k[:, :20], v[:, :20]),
+            partial_attention(q, k[:, 20:], v[:, 20:]),
+        ]
+        np.testing.assert_allclose(merge_partial_attention(parts), full, atol=1e-5)
+
+    def test_many_way_split_matches_full(self):
+        q, k, v = _random_qkv(seq=60, seed=4)
+        full = decode_attention(q, k, v)
+        parts = [partial_attention(q, k[:, i : i + 7], v[:, i : i + 7]) for i in range(0, 60, 7)]
+        np.testing.assert_allclose(merge_partial_attention(parts), full, atol=1e-5)
+
+    def test_empty_parts_are_ignored(self):
+        q, k, v = _random_qkv(seq=10, seed=5)
+        full = decode_attention(q, k, v)
+        parts = [
+            PartialAttention.empty(4, 8),
+            partial_attention(q, k, v),
+        ]
+        np.testing.assert_allclose(merge_partial_attention(parts), full, atol=1e-5)
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_partial_attention([PartialAttention.empty(2, 4)])
+
+    def test_single_part_is_copied(self):
+        q, k, v = _random_qkv(seq=10, seed=6)
+        part = partial_attention(q, k, v)
+        merged = merge_partial_attention([part])
+        np.testing.assert_allclose(merged, part.output, atol=1e-6)
+        merged[0, 0] = 42.0
+        assert part.output[0, 0] != 42.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        seq=st.integers(min_value=2, max_value=64),
+        split=st.integers(min_value=1, max_value=63),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_split_anywhere_matches_full(self, seq, split, seed):
+        split = min(split, seq - 1)
+        q, k, v = _random_qkv(seq=seq, seed=seed)
+        full = decode_attention(q, k, v)
+        parts = [
+            partial_attention(q, k[:, :split], v[:, :split]),
+            partial_attention(q, k[:, split:], v[:, split:]),
+        ]
+        np.testing.assert_allclose(merge_partial_attention(parts), full, atol=1e-4)
+
+    def test_prefill_full_attention_shapes(self):
+        rng = np.random.default_rng(7)
+        q = rng.normal(size=(4, 5, 8)).astype(np.float32)
+        k = rng.normal(size=(2, 5, 8)).astype(np.float32)
+        v = rng.normal(size=(2, 5, 8)).astype(np.float32)
+        out = full_attention(q, k, v, causal=True)
+        assert out.shape == (4, 5, 8)

@@ -1,0 +1,186 @@
+"""Tests of the transformer substrate, RoPE, tokenizer, sampling, generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kvcache.cache import DynamicCache
+from repro.llm.generation import GenerationLoop, generate
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.llm.rope import RotaryEmbedding, apply_rotary
+from repro.llm.sampling import SamplingConfig, greedy, sample_token
+from repro.llm.tokenizer import ByteTokenizer
+
+
+class TestRotaryEmbedding:
+    def test_rotation_preserves_norm(self):
+        rope = RotaryEmbedding(head_dim=8, max_positions=16)
+        x = np.random.default_rng(0).normal(size=(2, 5, 8)).astype(np.float32)
+        rotated = rope.rotate(x, np.arange(5))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-4
+        )
+
+    def test_position_zero_is_identity(self):
+        rope = RotaryEmbedding(head_dim=8)
+        x = np.random.default_rng(1).normal(size=(1, 1, 8)).astype(np.float32)
+        rotated = rope.rotate(x, np.asarray([0]))
+        np.testing.assert_allclose(rotated, x, atol=1e-6)
+
+    def test_relative_position_property(self):
+        # q(m) . k(n) depends only on (m - n): rotating both by the same
+        # offset leaves the inner product unchanged.
+        rope = RotaryEmbedding(head_dim=16)
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(1, 1, 16)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 16)).astype(np.float32)
+        q5, k3 = rope.rotate(q, np.asarray([5])), rope.rotate(k, np.asarray([3]))
+        q15, k13 = rope.rotate(q, np.asarray([15])), rope.rotate(k, np.asarray([13]))
+        np.testing.assert_allclose(
+            float(q5[0, 0] @ k3[0, 0]), float(q15[0, 0] @ k13[0, 0]), rtol=1e-4
+        )
+
+    def test_table_grows_on_demand(self):
+        rope = RotaryEmbedding(head_dim=4, max_positions=4)
+        cos, sin = rope.tables(np.asarray([100]))
+        assert cos.shape == (1, 2) and sin.shape == (1, 2)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(head_dim=7)
+
+    def test_apply_rotary_shape(self):
+        cos = np.ones((3, 2), dtype=np.float32)
+        sin = np.zeros((3, 2), dtype=np.float32)
+        x = np.random.default_rng(3).normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(apply_rotary(x, cos, sin), x, atol=1e-6)
+
+
+class TestTokenizer:
+    def test_roundtrip(self):
+        tok = ByteTokenizer()
+        text = "AlayaDB stores KV caches. Ünïcödé too."
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_bos_eos(self):
+        tok = ByteTokenizer()
+        ids = tok.encode("hi", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_vocab_size(self):
+        assert ByteTokenizer().vocab_size == 259
+
+    def test_batch_encode(self):
+        tok = ByteTokenizer()
+        batch = tok.encode_batch(["a", "bc"])
+        assert len(batch) == 2 and len(batch[1]) == 3  # bos + 2 bytes
+
+
+class TestSampling:
+    def test_greedy_picks_argmax(self):
+        logits = np.asarray([0.1, 5.0, -2.0])
+        assert greedy(logits) == 1
+
+    def test_zero_temperature_is_greedy(self):
+        logits = np.asarray([0.1, 5.0, -2.0])
+        assert sample_token(logits, SamplingConfig(temperature=0.0)) == 1
+
+    def test_sampling_is_deterministic_with_seed(self):
+        logits = np.random.default_rng(0).normal(size=50)
+        config = SamplingConfig(temperature=1.0, seed=42)
+        assert sample_token(logits, config) == sample_token(logits, config)
+
+    def test_top_k_restricts_support(self):
+        logits = np.asarray([10.0, 9.0, -50.0, -50.0])
+        config = SamplingConfig(temperature=1.0, top_k=2, seed=0)
+        tokens = {sample_token(logits, config, np.random.default_rng(i)) for i in range(20)}
+        assert tokens.issubset({0, 1})
+
+    def test_top_p_restricts_support(self):
+        logits = np.asarray([10.0, 1.0, 0.0, -1.0])
+        config = SamplingConfig(temperature=1.0, top_p=0.5, seed=0)
+        tokens = {sample_token(logits, config, np.random.default_rng(i)) for i in range(20)}
+        assert tokens == {0}
+
+
+class TestModelConfig:
+    def test_head_dim(self):
+        assert ModelConfig(dim=64, num_query_heads=8).head_dim == 8
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(dim=65, num_query_heads=8)
+
+    def test_invalid_gqa_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(num_query_heads=8, num_kv_heads=3)
+
+    def test_llama_like_ratios(self):
+        config = ModelConfig.llama_like()
+        assert config.num_query_heads == 32 and config.num_kv_heads == 8
+        assert config.gqa_group_size == 4
+
+
+class TestTransformerModel:
+    def test_deterministic_weights(self):
+        a = TransformerModel(ModelConfig.tiny(seed=5))
+        b = TransformerModel(ModelConfig.tiny(seed=5))
+        np.testing.assert_array_equal(a.lm_head.weight, b.lm_head.weight)
+
+    def test_forward_shape(self, tiny_model):
+        logits = tiny_model.forward([1, 2, 3])
+        assert logits.shape == (3, tiny_model.config.vocab_size)
+
+    def test_incremental_decode_matches_full_forward(self, tiny_model):
+        tokens = [10, 20, 30, 40, 50]
+        full_logits = tiny_model.forward(np.asarray(tokens))
+        cache = DynamicCache()
+        _, cache = tiny_model.prefill(tokens[:3], cache)
+        l4 = tiny_model.decode_step(tokens[3], cache)
+        l5 = tiny_model.decode_step(tokens[4], cache)
+        np.testing.assert_allclose(l4, full_logits[3], atol=1e-4)
+        np.testing.assert_allclose(l5, full_logits[4], atol=1e-4)
+
+    def test_capture_activations(self, tiny_model):
+        _, acts = tiny_model.forward([1, 2, 3], capture_activations=True)
+        assert len(acts) == tiny_model.config.num_layers
+        assert acts[0].queries.shape == (4, 3, tiny_model.config.head_dim)
+        assert acts[0].keys.shape == (2, 3, tiny_model.config.head_dim)
+
+    def test_rejects_2d_input(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.forward(np.zeros((2, 3), dtype=np.int64))
+
+    def test_kv_bytes_per_token(self, tiny_model):
+        config = tiny_model.config
+        expected = 2 * config.num_kv_heads * config.head_dim * 4 * config.num_layers
+        assert tiny_model.kv_bytes_per_token() == expected
+
+    def test_parameter_count_positive(self, tiny_model):
+        assert tiny_model.num_parameters > 0
+        assert tiny_model.num_bytes == pytest.approx(tiny_model.num_parameters * 4, rel=0.01)
+
+
+class TestGeneration:
+    def test_generates_requested_tokens(self, tiny_model):
+        result = generate(tiny_model, "hello", max_new_tokens=5)
+        assert result.num_generated <= 5
+        assert result.ttft_seconds > 0
+
+    def test_generation_is_deterministic(self, tiny_model):
+        a = generate(tiny_model, "hello", max_new_tokens=5)
+        b = generate(tiny_model, "hello", max_new_tokens=5)
+        assert a.generated_tokens == b.generated_tokens
+
+    def test_loop_with_pretokenised_prompt(self, tiny_model):
+        loop = GenerationLoop(tiny_model)
+        result = loop.run_tokens([1, 2, 3, 4], max_new_tokens=3)
+        assert result.prompt_tokens == [1, 2, 3, 4]
+        assert len(result.decode_seconds) <= 2
+
+    def test_tpot_property(self, tiny_model):
+        result = generate(tiny_model, "abcdef", max_new_tokens=4)
+        if result.decode_seconds:
+            assert result.tpot_seconds == pytest.approx(float(np.mean(result.decode_seconds)))

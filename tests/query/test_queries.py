@@ -1,0 +1,214 @@
+"""Tests of the query types, DIPRS, top-k and filtered search."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.flat import FlatIndex
+from repro.index.roargraph import RoarGraphIndex
+from repro.query.dipr import diprs_search, exact_dipr
+from repro.query.filtered import filtered_diprs_search, naive_filtered_diprs_search, predicate_mask
+from repro.query.topk import flat_topk_search, graph_topk_search
+from repro.query.types import (
+    DIPRQuery,
+    FilterPredicate,
+    QuerySpec,
+    TopKQuery,
+    alpha_from_beta,
+    beta_from_alpha,
+)
+
+
+def _clustered_keys(n=1200, dim=16, num_critical=60, seed=0):
+    """Keys with a planted critical cluster (mimics attention key structure)."""
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(0.0, 0.35, size=(n, dim)).astype(np.float32)
+    direction = rng.normal(size=dim)
+    direction /= np.linalg.norm(direction)
+    critical = rng.choice(n, size=num_critical, replace=False)
+    keys[critical] += (8.0 * direction).astype(np.float32)
+    query = (direction * np.sqrt(dim) + rng.normal(0, 0.1, dim)).astype(np.float32)
+    queries = (
+        direction[None, :] * np.sqrt(dim)
+        + rng.normal(0, 0.8, size=(400, dim))
+    ).astype(np.float32)
+    return keys, query, queries, critical
+
+
+class TestQueryTypes:
+    def test_beta_alpha_roundtrip(self):
+        beta = beta_from_alpha(0.01, 128)
+        assert alpha_from_beta(beta, 128) == pytest.approx(0.01, rel=1e-6)
+
+    def test_theorem1_constant(self):
+        # beta = -sqrt(d) * ln(alpha)
+        assert beta_from_alpha(0.012, 128) == pytest.approx(-math.sqrt(128) * math.log(0.012))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            beta_from_alpha(0.0, 16)
+        with pytest.raises(ValueError):
+            beta_from_alpha(1.5, 16)
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            TopKQuery(k=0)
+        with pytest.raises(ValueError):
+            DIPRQuery(beta=-1.0)
+        with pytest.raises(ValueError):
+            FilterPredicate(max_position=0)
+
+    def test_query_spec(self):
+        spec = QuerySpec(query=DIPRQuery(beta=5.0), predicate=FilterPredicate(max_position=10))
+        assert spec.kind == "dipr"
+        assert spec.is_filtered
+
+    def test_dipr_from_alpha(self):
+        query = DIPRQuery.from_alpha(0.05, 64)
+        assert query.beta == pytest.approx(beta_from_alpha(0.05, 64))
+
+
+class TestExactDIPR:
+    def test_always_contains_maximum(self):
+        keys, query, _, _ = _clustered_keys()
+        result = exact_dipr(keys, query, beta=0.0)
+        assert len(result) >= 1
+        assert result.indices[0] == int(np.argmax(keys @ query))
+
+    def test_larger_beta_is_superset(self):
+        keys, query, _, _ = _clustered_keys()
+        small = set(exact_dipr(keys, query, 5.0).indices.tolist())
+        large = set(exact_dipr(keys, query, 20.0).indices.tolist())
+        assert small.issubset(large)
+
+    def test_critical_cluster_selected(self):
+        keys, query, _, critical = _clustered_keys()
+        result = exact_dipr(keys, query, beta=15.0)
+        assert set(critical.tolist()).issubset(set(result.indices.tolist()))
+
+
+class TestDIPRS:
+    def test_high_recall_on_clustered_data(self):
+        keys, query, queries, _ = _clustered_keys()
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        truth = exact_dipr(keys, query, 15.0)
+        approx, stats = diprs_search(
+            keys, index.graph, query, 15.0, [index.entry_point], capacity_threshold=128
+        )
+        recall = len(set(truth.indices.tolist()) & set(approx.indices.tolist())) / len(truth)
+        assert recall > 0.85
+        assert stats.num_distance_computations < keys.shape[0]
+
+    def test_results_respect_threshold(self):
+        keys, query, queries, _ = _clustered_keys(seed=3)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        result, _ = diprs_search(keys, index.graph, query, 10.0, [index.entry_point])
+        assert np.all(result.scores >= result.scores.max() - 10.0 - 1e-4)
+
+    def test_window_seed_tightens_pruning(self):
+        keys, query, queries, _ = _clustered_keys(seed=4)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        true_max = float((keys @ query).max())
+        _, without_seed = diprs_search(keys, index.graph, query, 12.0, [index.entry_point])
+        _, with_seed = diprs_search(
+            keys, index.graph, query, 12.0, [index.entry_point], window_max_score=true_max
+        )
+        assert with_seed.num_appended <= without_seed.num_appended
+
+    def test_max_tokens_cap(self):
+        keys, query, queries, _ = _clustered_keys()
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        result, _ = diprs_search(keys, index.graph, query, 30.0, [index.entry_point], max_tokens=5)
+        assert len(result) <= 5
+
+    def test_dynamic_size_varies_with_cluster_size(self):
+        sizes = []
+        for num_critical in (10, 80):
+            keys, query, queries, _ = _clustered_keys(num_critical=num_critical, seed=5)
+            index = RoarGraphIndex()
+            index.build(keys, query_sample=queries)
+            result, _ = diprs_search(keys, index.graph, query, 15.0, [index.entry_point], capacity_threshold=128)
+            sizes.append(len(result))
+        assert sizes[1] > sizes[0]
+
+
+class TestTopKSearch:
+    def test_flat_topk(self):
+        keys, query, _, _ = _clustered_keys()
+        index = FlatIndex()
+        index.build(keys)
+        result = flat_topk_search(index, query, 10)
+        expected = np.argsort(-(keys @ query))[:10]
+        np.testing.assert_array_equal(result.indices, expected)
+
+    def test_graph_topk_recall(self):
+        keys, query, queries, _ = _clustered_keys()
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        truth = set(np.argsort(-(keys @ query))[:20].tolist())
+        found = set(graph_topk_search(keys, index.graph, query, 20, [index.entry_point]).indices.tolist())
+        assert len(truth & found) / 20 > 0.8
+
+
+class TestFilteredSearch:
+    def test_predicate_mask(self):
+        mask = predicate_mask(10, FilterPredicate(max_position=4))
+        assert mask.sum() == 4
+        assert predicate_mask(10, None) is None
+
+    def test_filtered_results_respect_predicate(self):
+        keys, query, queries, _ = _clustered_keys()
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        predicate = FilterPredicate(max_position=600)
+        result, _ = filtered_diprs_search(
+            keys, index.graph, query, 15.0, [index.entry_point], predicate, capacity_threshold=128
+        )
+        assert np.all(result.indices < 600)
+
+    def test_two_hop_beats_naive_pruning(self):
+        keys, query, queries, _ = _clustered_keys(seed=6)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        predicate = FilterPredicate(max_position=500)
+        truth = set(exact_dipr(keys[:500], query, 15.0).indices.tolist())
+        two_hop, _ = filtered_diprs_search(
+            keys, index.graph, query, 15.0, [index.entry_point], predicate, capacity_threshold=128
+        )
+        naive, _ = naive_filtered_diprs_search(
+            keys, index.graph, query, 15.0, [index.entry_point], predicate, capacity_threshold=128
+        )
+        recall_two_hop = len(truth & set(two_hop.indices.tolist())) / max(len(truth), 1)
+        recall_naive = len(truth & set(naive.indices.tolist())) / max(len(truth), 1)
+        assert recall_two_hop >= recall_naive
+
+    def test_filtered_out_entry_point_falls_back(self):
+        keys, query, queries, _ = _clustered_keys(seed=7)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries)
+        predicate = FilterPredicate(max_position=50)
+        entry = keys.shape[0] - 1  # definitely filtered out
+        result, _ = filtered_diprs_search(
+            keys, index.graph, query, 15.0, [entry], predicate
+        )
+        assert np.all(result.indices < 50)
+
+    @settings(deadline=None, max_examples=15)
+    @given(max_position=st.integers(min_value=50, max_value=1100), seed=st.integers(0, 20))
+    def test_property_filter_never_leaks(self, max_position, seed):
+        keys, query, queries, _ = _clustered_keys(seed=seed)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries[:100])
+        result, _ = filtered_diprs_search(
+            keys, index.graph, query, 12.0, [index.entry_point], FilterPredicate(max_position=max_position)
+        )
+        assert np.all(result.indices < max_position)

@@ -1,0 +1,229 @@
+"""Tests of the vector file system, blocks and buffer manager."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BlockNotFoundError, BufferPoolExhaustedError, StorageError
+from repro.storage.blocks import BlockId, BlockType, DataBlock, IndexBlock
+from repro.storage.buffer_manager import BufferManager
+from repro.storage.filesystem import VectorFileKey, VectorFileSystem
+from repro.storage.io_model import IOModel
+from repro.storage.vector_file import VectorFile
+
+
+def _vectors(n=100, dim=8, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, dim)).astype(np.float32)
+
+
+def _data_block(number=0, n=10, start=0, seed=0):
+    return DataBlock(
+        block_id=BlockId("file", number),
+        start_position=start,
+        vectors=_vectors(n, seed=seed),
+    )
+
+
+class TestBlocks:
+    def test_data_block_lookup(self):
+        block = _data_block(n=10, start=20)
+        assert block.contains(25)
+        assert not block.contains(30)
+        np.testing.assert_array_equal(block.vector_at(20), block.vectors[0])
+        with pytest.raises(IndexError):
+            block.vector_at(31)
+
+    def test_index_block_lookup(self):
+        block = IndexBlock(
+            block_id=BlockId("file", 0),
+            start_node=5,
+            neighbor_lists=[np.asarray([1, 2]), np.asarray([3])],
+        )
+        assert block.num_nodes == 2
+        np.testing.assert_array_equal(block.neighbors_of(6), [3])
+        with pytest.raises(IndexError):
+            block.neighbors_of(10)
+
+
+class TestVectorFile:
+    def test_append_and_read_all(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8, block_capacity=16)
+        vectors = _vectors(40)
+        file.append_vectors(vectors)
+        assert file.num_vectors == 40
+        assert file.num_data_blocks == 3
+        np.testing.assert_allclose(file.read_all_vectors(), vectors, atol=1e-6)
+
+    def test_incremental_append_tops_up_last_block(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8, block_capacity=16)
+        file.append_vectors(_vectors(10))
+        file.append_vectors(_vectors(10, seed=1))
+        assert file.num_data_blocks == 2
+        assert file.num_vectors == 20
+
+    def test_read_by_position(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8, block_capacity=7)
+        vectors = _vectors(30)
+        file.append_vectors(vectors)
+        out = file.read_vectors(np.asarray([0, 13, 29]))
+        np.testing.assert_allclose(out, vectors[[0, 13, 29]], atol=1e-6)
+
+    def test_out_of_range_position(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8)
+        file.append_vectors(_vectors(5))
+        with pytest.raises(BlockNotFoundError):
+            file.read_vectors(np.asarray([10]))
+
+    def test_adjacency_roundtrip(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8)
+        file.append_vectors(_vectors(5))
+        adjacency = [[1, 2], [0], [0, 1], [4], []]
+        file.write_adjacency(adjacency, nodes_per_block=2)
+        restored = file.read_adjacency()
+        assert [list(a) for a in restored] == adjacency
+
+    def test_manifest_persistence(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8, block_capacity=16)
+        file.append_vectors(_vectors(20))
+        reopened = VectorFile(tmp_path, "head0", dim=8)
+        assert reopened.num_vectors == 20
+        with pytest.raises(StorageError):
+            VectorFile(tmp_path, "head0", dim=4)
+
+    def test_dimension_check(self, tmp_path):
+        file = VectorFile(tmp_path, "head0", dim=8)
+        with pytest.raises(StorageError):
+            file.append_vectors(_vectors(5, dim=4))
+
+    def test_delete(self, tmp_path):
+        file = VectorFile(tmp_path, "gone", dim=8)
+        file.append_vectors(_vectors(5))
+        file.delete()
+        assert not (tmp_path / "gone").exists()
+
+
+class TestBufferManager:
+    def test_hit_miss_accounting(self):
+        pool = BufferManager(capacity_bytes=10**6)
+        block = _data_block()
+        pool.get(block.block_id, loader=lambda: block)
+        pool.get(block.block_id)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_eviction_prefers_data_blocks(self):
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes * 3 + 100)
+        index_block = IndexBlock(BlockId("f", 100), 0, [np.arange(block_bytes // 4, dtype=np.int32)])
+        pool.put(index_block)
+        pool.put(_data_block(number=0))
+        pool.put(_data_block(number=1))
+        pool.put(_data_block(number=2))  # forces eviction
+        assert str(index_block.block_id) in pool
+        assert pool.stats.evictions >= 1
+
+    def test_pinned_blocks_never_evicted(self):
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes * 2 + 10)
+        pool.put(_data_block(number=0), pin=True)
+        pool.put(_data_block(number=1))
+        pool.put(_data_block(number=2))
+        assert BlockId("file", 0) in pool
+
+    def test_oversized_block_rejected(self):
+        pool = BufferManager(capacity_bytes=10)
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.put(_data_block())
+
+    def test_all_pinned_pool_exhausted(self):
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes + 10)
+        pool.put(_data_block(number=0), pin=True)
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.put(_data_block(number=1))
+
+    def test_unpin_allows_eviction(self):
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes + 10)
+        pool.put(_data_block(number=0), pin=True)
+        pool.unpin(BlockId("file", 0))
+        pool.put(_data_block(number=1))
+        assert BlockId("file", 1) in pool
+
+    def test_missing_loader_raises(self):
+        pool = BufferManager()
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.get("nope")
+
+    def test_concurrent_access(self):
+        pool = BufferManager(capacity_bytes=10**7)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(50):
+                    block = _data_block(number=worker_id * 100 + i, seed=worker_id)
+                    pool.put(block)
+                    pool.get(block.block_id)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    @settings(deadline=None, max_examples=20)
+    @given(capacity_blocks=st.integers(min_value=1, max_value=8), inserts=st.integers(min_value=1, max_value=30))
+    def test_property_used_bytes_never_exceed_capacity(self, capacity_blocks, inserts):
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes * capacity_blocks + 1)
+        for i in range(inserts):
+            pool.put(_data_block(number=i))
+            assert pool.used_bytes <= pool.capacity_bytes
+
+
+class TestVectorFileSystem:
+    def test_store_and_gather(self, tmp_path):
+        fs = VectorFileSystem(tmp_path, block_capacity=16)
+        keys = np.random.default_rng(0).normal(size=(2, 40, 8)).astype(np.float32)
+        values = np.random.default_rng(1).normal(size=(2, 40, 8)).astype(np.float32)
+        fs.store_context_layer("ctx", 0, keys, values)
+        assert len(fs.list_files()) == 4
+        out = fs.read_vectors(VectorFileKey("ctx", 0, 1, "key"), np.asarray([0, 17, 39]))
+        np.testing.assert_allclose(out, keys[1][[0, 17, 39]], atol=1e-6)
+        assert fs.io.stats.num_writes > 0
+        assert fs.io.stats.num_reads > 0
+
+    def test_buffer_reuse_avoids_repeated_io(self, tmp_path):
+        fs = VectorFileSystem(tmp_path, block_capacity=64)
+        keys = np.random.default_rng(0).normal(size=(1, 64, 8)).astype(np.float32)
+        fs.write_head_vectors(VectorFileKey("ctx", 0, 0, "key"), keys[0])
+        fs.read_vectors(VectorFileKey("ctx", 0, 0, "key"), np.asarray([1]))
+        reads_after_first = fs.io.stats.num_reads
+        fs.read_vectors(VectorFileKey("ctx", 0, 0, "key"), np.asarray([2, 3]))
+        assert fs.io.stats.num_reads == reads_after_first  # served from the buffer
+
+    def test_adjacency_through_fs(self, tmp_path):
+        fs = VectorFileSystem(tmp_path)
+        key = VectorFileKey("ctx", 0, 0, "key")
+        fs.write_head_vectors(key, _vectors(10))
+        fs.write_head_adjacency(key, [[1], [0, 2], [1], [4], [3], [6], [5], [8], [7], [0]])
+        np.testing.assert_array_equal(fs.read_adjacency(key, 1), [0, 2])
+
+    def test_unopened_file_raises(self, tmp_path):
+        fs = VectorFileSystem(tmp_path)
+        with pytest.raises(StorageError):
+            fs.read_vectors(VectorFileKey("ctx", 0, 0, "key"), np.asarray([0]))
+
+    def test_spdk_io_model_is_faster(self):
+        spdk = IOModel(use_spdk=True)
+        kernel = IOModel(use_spdk=False)
+        assert spdk.record_read(4096) < kernel.record_read(4096)

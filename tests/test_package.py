@@ -1,0 +1,63 @@
+"""Package-level tests: public API surface, error hierarchy, version."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        for name in ("DB", "Session", "AlayaDBConfig", "TransformerModel", "ModelConfig", "ReproError"):
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.index
+        import repro.kvcache
+        import repro.llm
+        import repro.query
+        import repro.simulator
+        import repro.storage
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.core,
+            repro.index,
+            repro.kvcache,
+            repro.llm,
+            repro.query,
+            repro.simulator,
+            repro.storage,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_subsystem_groups(self):
+        assert issubclass(errors.SessionClosedError, errors.DatabaseError)
+        assert issubclass(errors.BlockNotFoundError, errors.StorageError)
+        assert issubclass(errors.OutOfDeviceMemoryError, errors.SimulatorError)
+        assert issubclass(errors.UnsupportedQueryError, errors.QueryError)
+        assert issubclass(errors.IndexNotBuiltError, errors.IndexError_)
+
+    def test_errors_are_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ContextNotFoundError("x")
