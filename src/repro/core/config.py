@@ -60,8 +60,40 @@ class AlayaDBConfig:
     # index construction
     index_build: IndexBuildConfig = field(default_factory=IndexBuildConfig)
 
+    lazy_index_build: bool = False
+    """When set, ``DB.import_context`` / ``DB.store`` defer fine-index
+    construction off the ingest critical path: indexes are built on the first
+    sparse-attention use of the context (or explicitly via
+    ``DB.build_pending``)."""
+
     # serving SLO
     slo: SLO = field(default_factory=SLO)
+
+    # request scheduler (Section 8, Model-as-a-Service)
+    max_inflight_requests: int = 8
+    """Maximum number of requests the scheduler keeps in flight at once."""
+
+    prefill_chunk_tokens: int = 256
+    """Prompt tokens prefilled per scheduler step; chunking lets decode steps
+    of other in-flight requests interleave with a long prefill."""
+
+    scheduler_policy: str = "fcfs"
+    """Admission order: ``"fcfs"`` (arrival order) or ``"slo"`` (least TTFT
+    slack first, then priority)."""
+
+    scheduler_gpu_budget_bytes: int | None = None
+    """Global GPU-memory budget admission control enforces across all
+    in-flight requests; ``None`` disables admission control."""
+
+    scheduler_drain_index_builds: bool = False
+    """When set, the scheduler drains one pending (lazy) fine-index build
+    after each step instead of leaving builds to first sparse use."""
+
+    # context-store residency budget (Section 7.3 applied to whole contexts)
+    context_store_budget_bytes: int | None = None
+    """Byte budget for KV snapshots resident in memory; colder contexts are
+    spilled to disk (requires the DB to be created with a ``storage_dir``)
+    and transparently reloaded on prefix hits.  ``None`` means unbounded."""
 
     def __post_init__(self) -> None:
         if self.window_initial_tokens < 0 or self.window_last_tokens < 0:
@@ -72,6 +104,20 @@ class AlayaDBConfig:
             raise ConfigError(f"topk_k must be positive, got {self.topk_k}")
         if self.short_context_threshold < 0:
             raise ConfigError("short_context_threshold must be non-negative")
+        if self.max_inflight_requests <= 0:
+            raise ConfigError(
+                f"max_inflight_requests must be positive, got {self.max_inflight_requests}"
+            )
+        if self.prefill_chunk_tokens <= 0:
+            raise ConfigError(
+                f"prefill_chunk_tokens must be positive, got {self.prefill_chunk_tokens}"
+            )
+        if self.scheduler_policy not in ("fcfs", "slo"):
+            raise ConfigError(
+                f"scheduler_policy must be 'fcfs' or 'slo', got {self.scheduler_policy!r}"
+            )
+        if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
+            raise ConfigError("context_store_budget_bytes must be positive when set")
 
     @property
     def window_total_tokens(self) -> int:

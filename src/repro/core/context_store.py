@@ -1,20 +1,30 @@
-"""The context store: stored long contexts and prefix-based reuse.
+"""The context store: stored long contexts, prefix reuse, and residency.
 
 A *context* is a prompt's token sequence plus the KV cache it produced and,
 once built, the per-layer vector indexes over its keys.  ``DB.create_session``
 matches the incoming prompt against the store to find the **longest common
 prefix** with any stored context; the matched prefix is reused (its KV cache
 and indexes are not recomputed) and only the non-reused suffix is prefilled.
+
+Two serving-scale features live here:
+
+* prefix matching runs over a **token trie**, so a lookup costs
+  ``O(len(prompt))`` instead of ``O(num_contexts x len(prompt))``;
+* the store enforces an optional **byte budget** on resident KV snapshots:
+  cold contexts are spilled to disk (their tokens stay in memory so prefix
+  matching keeps working) and transparently reloaded on the next hit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
-from ..errors import ContextNotFoundError, DuplicateContextError
+from ..errors import ContextEvictedError, ContextNotFoundError, DuplicateContextError
 from ..index.builder import LayerIndexes
 from ..index.coarse import CoarseBlockIndex
 from ..kvcache.serialization import KVSnapshot, load_snapshot, save_snapshot
@@ -24,43 +34,94 @@ __all__ = ["StoredContext", "PrefixMatch", "ContextStore"]
 
 @dataclass
 class StoredContext:
-    """One reusable context: tokens, KV snapshot, and (optionally) indexes."""
+    """One reusable context: tokens, KV snapshot, and (optionally) indexes.
+
+    ``snapshot`` is ``None`` while the context is spilled to disk; the token
+    sequence (and the byte sizes needed for accounting) stay in memory so the
+    context keeps participating in prefix matching.
+    """
 
     context_id: str
-    snapshot: KVSnapshot
+    snapshot: KVSnapshot | None
     fine_indexes: dict[int, LayerIndexes] = field(default_factory=dict)
     coarse_indexes: dict[int, list[CoarseBlockIndex]] = field(default_factory=dict)
     query_samples: dict[int, np.ndarray] = field(default_factory=dict)
+    wants_fine_indexes: bool = True
+    wants_coarse_indexes: bool = True
+    """Index policy chosen at import/store time; honoured when indexes are
+    rebuilt after a spill/reload cycle."""
+
+    def __post_init__(self) -> None:
+        self._tokens: list[int] = self.snapshot.tokens if self.snapshot is not None else []
+        self._spilled_kv_bytes = 0
+        self._spilled_num_layers = 0
+
+    @property
+    def is_resident(self) -> bool:
+        return self.snapshot is not None
 
     @property
     def tokens(self) -> list[int]:
-        return self.snapshot.tokens
+        return self._tokens
 
     @property
     def num_tokens(self) -> int:
-        return self.snapshot.num_tokens
+        return len(self._tokens)
 
     @property
     def num_layers(self) -> int:
-        return self.snapshot.num_layers
+        if self.snapshot is not None:
+            return self.snapshot.num_layers
+        return self._spilled_num_layers
 
     @property
     def has_fine_indexes(self) -> bool:
         return bool(self.fine_indexes)
 
+    def _require_resident(self) -> KVSnapshot:
+        if self.snapshot is None:
+            raise ContextEvictedError(
+                f"context {self.context_id!r} is spilled to disk; "
+                "reload it through ContextStore.ensure_resident"
+            )
+        return self.snapshot
+
     def keys(self, layer: int) -> np.ndarray:
-        return self.snapshot.keys[layer]
+        return self._require_resident().keys[layer]
 
     def values(self, layer: int) -> np.ndarray:
-        return self.snapshot.values[layer]
+        return self._require_resident().values[layer]
 
     @property
     def kv_bytes(self) -> int:
-        return self.snapshot.nbytes
+        if self.snapshot is not None:
+            return self.snapshot.nbytes
+        return self._spilled_kv_bytes
 
     @property
     def index_bytes(self) -> int:
         return sum(indexes.memory_bytes for indexes in self.fine_indexes.values())
+
+    # ------------------------------------------------------------------
+    # residency transitions (driven by the ContextStore)
+    # ------------------------------------------------------------------
+    def spill(self) -> None:
+        """Drop the in-memory KV and indexes; keep tokens and accounting."""
+        snapshot = self._require_resident()
+        self._spilled_kv_bytes = snapshot.nbytes
+        self._spilled_num_layers = snapshot.num_layers
+        self.snapshot = None
+        # indexes reference the key arrays; dropping them is what frees the
+        # memory.  Query samples go too — a rebuild after reload falls back to
+        # indexing with the keys themselves (documented in DB).
+        self.fine_indexes = {}
+        self.coarse_indexes = {}
+        self.query_samples = {}
+
+    def restore(self, snapshot: KVSnapshot) -> None:
+        """Re-attach a snapshot loaded back from disk."""
+        self.snapshot = snapshot
+        self._tokens = snapshot.tokens
 
 
 @dataclass
@@ -79,20 +140,61 @@ class PrefixMatch:
         return self.is_hit and self.prefix_length == self.context.num_tokens
 
 
-def _common_prefix_length(a: list[int], b: list[int]) -> int:
-    limit = min(len(a), len(b))
-    for i in range(limit):
-        if a[i] != b[i]:
-            return i
-    return limit
+class _TrieNode:
+    """One token of stored-context prefixes.
+
+    ``holder`` is one representative context whose token sequence passes
+    through this node — any such context shares the prefix this node spells,
+    which is all longest-prefix matching needs, so a full holder *set* per
+    node (O(total stored tokens) sets) is avoided.  ``ends`` lists the
+    contexts whose sequence terminates exactly here; it backs holder repair
+    when a context is removed.
+    """
+
+    __slots__ = ("children", "holder", "ends")
+
+    def __init__(self, holder: str) -> None:
+        self.children: dict[int, _TrieNode] = {}
+        self.holder = holder
+        self.ends: set[str] | None = None
 
 
 class ContextStore:
-    """In-memory registry of stored contexts with optional disk persistence."""
+    """Registry of stored contexts with budgeted residency and disk spill.
 
-    def __init__(self, storage_dir: str | Path | None = None):
+    ``kv_budget_bytes`` caps the total bytes of KV snapshots kept in memory;
+    exceeding it spills the least-recently-used unpinned context to
+    ``storage_dir`` (which is therefore required when a budget is set).
+    ``on_spill`` / ``on_reload`` let the owning DB react to residency changes
+    (dropping buffer-pool accounting, re-scheduling index builds).
+    """
+
+    def __init__(
+        self,
+        storage_dir: str | Path | None = None,
+        kv_budget_bytes: int | None = None,
+        on_spill: Callable[[StoredContext], None] | None = None,
+        on_reload: Callable[[StoredContext], None] | None = None,
+        on_remove: Callable[[StoredContext], None] | None = None,
+    ):
+        if kv_budget_bytes is not None:
+            if kv_budget_bytes <= 0:
+                raise ValueError(f"kv_budget_bytes must be positive, got {kv_budget_bytes}")
+            if storage_dir is None:
+                raise ValueError("a kv_budget_bytes cap requires a storage_dir to spill to")
         self._contexts: dict[str, StoredContext] = {}
         self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+        self.kv_budget_bytes = kv_budget_bytes
+        self._root = _TrieNode(holder="")  # the root's holder is never read
+        self._lru: OrderedDict[str, None] = OrderedDict()  # resident ids, oldest first
+        self._resident_bytes = 0
+        self._pins: dict[str, int] = {}
+        self._persisted: set[str] = set()
+        self._on_spill = on_spill
+        self._on_reload = on_reload
+        self._on_remove = on_remove
+        self.spill_count = 0
+        self.reload_count = 0
 
     # ------------------------------------------------------------------
     # registry operations
@@ -104,40 +206,215 @@ class ContextStore:
         return context_id in self._contexts
 
     def add(self, context: StoredContext, overwrite: bool = False) -> None:
-        if not overwrite and context.context_id in self._contexts:
-            raise DuplicateContextError(f"context {context.context_id!r} already stored")
-        self._contexts[context.context_id] = context
+        context_id = context.context_id
+        existing = self._contexts.get(context_id)
+        if existing is not None:
+            if not overwrite:
+                raise DuplicateContextError(f"context {context_id!r} already stored")
+            self._forget(existing)
+        self._contexts[context_id] = context
+        self._trie_insert(context.tokens, context_id)
+        if context.is_resident:
+            self._lru[context_id] = None
+            self._resident_bytes += context.kv_bytes
+        self._enforce_budget(protect=context_id)
 
     def get(self, context_id: str) -> StoredContext:
         try:
-            return self._contexts[context_id]
+            context = self._contexts[context_id]
         except KeyError:
             raise ContextNotFoundError(f"context {context_id!r} not found") from None
+        if context.is_resident:
+            self._touch(context_id)
+        return context
 
     def remove(self, context_id: str) -> None:
-        if context_id not in self._contexts:
+        context = self._contexts.get(context_id)
+        if context is None:
             raise ContextNotFoundError(f"context {context_id!r} not found")
+        self._forget(context)
         del self._contexts[context_id]
+        if self._on_remove is not None:
+            self._on_remove(context)
 
     def list_ids(self) -> list[str]:
         return sorted(self._contexts)
 
     @property
     def total_kv_bytes(self) -> int:
+        """KV bytes of every stored context, resident or spilled."""
         return sum(context.kv_bytes for context in self._contexts.values())
 
+    @property
+    def resident_kv_bytes(self) -> int:
+        """KV bytes currently held in memory (governed by the budget)."""
+        return self._resident_bytes
+
+    def resident_ids(self) -> list[str]:
+        return list(self._lru)
+
     # ------------------------------------------------------------------
-    # prefix matching
+    # pinning (contexts connected to live sessions must not be spilled)
+    # ------------------------------------------------------------------
+    def pin(self, context_id: str) -> None:
+        if context_id not in self._contexts:
+            raise ContextNotFoundError(f"context {context_id!r} not found")
+        self._pins[context_id] = self._pins.get(context_id, 0) + 1
+
+    def unpin(self, context_id: str) -> None:
+        count = self._pins.get(context_id, 0)
+        if count <= 1:
+            self._pins.pop(context_id, None)
+            # a budget overrun deferred by this pin can be resolved now
+            self._enforce_budget()
+        else:
+            self._pins[context_id] = count - 1
+
+    # ------------------------------------------------------------------
+    # prefix matching (token trie)
     # ------------------------------------------------------------------
     def find_longest_prefix(self, tokens: list[int]) -> PrefixMatch:
-        """Find the stored context sharing the longest common prefix with ``tokens``."""
-        best_context: StoredContext | None = None
+        """Find the stored context sharing the longest common prefix with ``tokens``.
+
+        One trie walk over the prompt; spilled contexts still match (their
+        tokens stay in the trie) — callers reload them via
+        :meth:`ensure_resident` before touching KV data.
+        """
+        node = self._root
+        best_id: str | None = None
         best_length = 0
-        for context in self._contexts.values():
-            length = _common_prefix_length(tokens, context.tokens)
-            if length > best_length:
-                best_context, best_length = context, length
-        return PrefixMatch(context=best_context, prefix_length=best_length)
+        for depth, token in enumerate(tokens, start=1):
+            child = node.children.get(int(token))
+            if child is None:
+                break
+            # every node exists on some stored context's path, so its holder
+            # shares exactly this prefix with the probe
+            best_id = child.holder
+            best_length = depth
+            node = child
+        context = self._contexts.get(best_id) if best_id is not None else None
+        return PrefixMatch(context=context, prefix_length=best_length)
+
+    def _trie_insert(self, tokens: list[int], context_id: str) -> None:
+        node = self._root
+        for token in tokens:
+            token = int(token)
+            child = node.children.get(token)
+            if child is None:
+                child = _TrieNode(holder=context_id)
+                node.children[token] = child
+            node = child
+        if node.ends is None:
+            node.ends = set()
+        node.ends.add(context_id)
+
+    def _trie_remove(self, tokens: list[int], context_id: str) -> None:
+        node = self._root
+        path: list[tuple[_TrieNode, int, _TrieNode]] = []
+        for token in tokens:
+            token = int(token)
+            child = node.children.get(token)
+            if child is None:
+                break
+            path.append((node, token, child))
+            node = child
+        if node.ends is not None:
+            node.ends.discard(context_id)
+            if not node.ends:
+                node.ends = None
+        # bottom-up: prune empty nodes, repair holders that named the
+        # removed context (children were repaired first, so their holders
+        # are valid replacements)
+        for parent, token, child in reversed(path):
+            if not child.children and child.ends is None:
+                del parent.children[token]
+                continue
+            if child.holder == context_id:
+                if child.ends:
+                    child.holder = next(iter(child.ends))
+                else:
+                    child.holder = next(iter(child.children.values())).holder
+
+    # ------------------------------------------------------------------
+    # residency management
+    # ------------------------------------------------------------------
+    def ensure_resident(self, context_id: str) -> StoredContext:
+        """Reload a spilled context from disk (no-op when already resident)."""
+        context = self._contexts.get(context_id)
+        if context is None:
+            raise ContextNotFoundError(f"context {context_id!r} not found")
+        if context.is_resident:
+            self._touch(context_id)
+            return context
+        if self.storage_dir is None:
+            raise ContextEvictedError(
+                f"context {context_id!r} is spilled but the store has no storage_dir"
+            )
+        snapshot = load_snapshot(self.storage_dir, context_id)
+        context.restore(snapshot)
+        self._lru[context_id] = None
+        self._lru.move_to_end(context_id)
+        self._resident_bytes += context.kv_bytes
+        self.reload_count += 1
+        if self._on_reload is not None:
+            self._on_reload(context)
+        self._enforce_budget(protect=context_id)
+        return context
+
+    def spill(self, context_id: str) -> None:
+        """Explicitly spill one resident context to disk."""
+        if self.storage_dir is None:
+            raise ValueError("this ContextStore was created without a storage_dir")
+        context = self.get(context_id)
+        if not context.is_resident:
+            return
+        if self._pins.get(context_id, 0) > 0:
+            raise ValueError(
+                f"context {context_id!r} is pinned by a live session and cannot be spilled"
+            )
+        self._spill_one(context_id)
+
+    def _touch(self, context_id: str) -> None:
+        if context_id in self._lru:
+            self._lru.move_to_end(context_id)
+
+    def _enforce_budget(self, protect: str | None = None) -> None:
+        if self.kv_budget_bytes is None:
+            return
+        while self._resident_bytes > self.kv_budget_bytes:
+            victim = next(
+                (
+                    cid
+                    for cid in self._lru
+                    if cid != protect and self._pins.get(cid, 0) == 0
+                ),
+                None,
+            )
+            if victim is None:
+                break  # everything else is pinned or protected; stay over budget
+            self._spill_one(victim)
+
+    def _spill_one(self, context_id: str) -> None:
+        context = self._contexts[context_id]
+        if context_id not in self._persisted:
+            save_snapshot(context.snapshot, self.storage_dir, context_id)
+            self._persisted.add(context_id)
+        self._resident_bytes -= context.kv_bytes
+        self._lru.pop(context_id, None)
+        context.spill()
+        self.spill_count += 1
+        if self._on_spill is not None:
+            self._on_spill(context)
+
+    def _forget(self, context: StoredContext) -> None:
+        """Drop all bookkeeping for a context being removed or overwritten."""
+        context_id = context.context_id
+        self._trie_remove(context.tokens, context_id)
+        if context.is_resident:
+            self._resident_bytes -= context.kv_bytes
+        self._lru.pop(context_id, None)
+        self._pins.pop(context_id, None)
+        self._persisted.discard(context_id)
 
     # ------------------------------------------------------------------
     # persistence
@@ -147,7 +424,9 @@ class ContextStore:
         if self.storage_dir is None:
             raise ValueError("this ContextStore was created without a storage_dir")
         context = self.get(context_id)
-        return save_snapshot(context.snapshot, self.storage_dir, context_id)
+        path = save_snapshot(context._require_resident(), self.storage_dir, context_id)
+        self._persisted.add(context_id)
+        return path
 
     def load_persisted(self, context_id: str) -> StoredContext:
         """Load a previously persisted snapshot back into the registry."""
@@ -156,4 +435,5 @@ class ContextStore:
         snapshot = load_snapshot(self.storage_dir, context_id)
         context = StoredContext(context_id=context_id, snapshot=snapshot)
         self.add(context, overwrite=True)
+        self._persisted.add(context_id)
         return context

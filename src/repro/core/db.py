@@ -12,6 +12,14 @@ with it through three calls:
 * ``store(session)`` — persist everything a session accumulated (reused
   prefix + locally generated KV) as a new reusable context; this is the late
   materialization point where the local KV finally enters a physical index.
+
+Memory governance: the DB mirrors context KV/index residency into a
+:class:`~repro.storage.buffer_manager.BufferManager` so hit ratios over the
+hot set are observable, and — when the config sets a
+``context_store_budget_bytes`` — the underlying :class:`ContextStore` spills
+cold contexts to ``storage_dir`` and reloads them on prefix hits.  Fine index
+construction can be deferred (``lazy_index_build``) to the first
+sparse-attention use or drained explicitly through :meth:`build_pending`.
 """
 
 from __future__ import annotations
@@ -27,11 +35,17 @@ from ..kvcache.cache import DynamicCache
 from ..kvcache.serialization import KVSnapshot
 from ..llm.model import TransformerModel
 from ..llm.tokenizer import ByteTokenizer
+from ..errors import BufferPoolExhaustedError
+from ..storage.blocks import BlockType, ResidencyBlock
+from ..storage.buffer_manager import BufferManager, BufferStats
 from .config import AlayaDBConfig
 from .context_store import ContextStore, StoredContext
 from .session import Session
 
 __all__ = ["DB"]
+
+_UNBOUNDED_POOL_BYTES = 1 << 60
+"""Buffer-pool capacity used when no context budget is configured."""
 
 
 class DB:
@@ -45,9 +59,20 @@ class DB:
     ):
         self.config = config or AlayaDBConfig()
         self.tokenizer = tokenizer or ByteTokenizer()
-        self.store_registry = ContextStore(storage_dir=storage_dir)
+        budget = self.config.context_store_budget_bytes
+        self.store_registry = ContextStore(
+            storage_dir=storage_dir,
+            kv_budget_bytes=budget,
+            on_spill=self._context_spilled,
+            on_reload=self._context_reloaded,
+            on_remove=self._context_spilled,  # same cleanup: drop mirrors
+        )
+        self.buffer_manager = BufferManager(
+            capacity_bytes=budget if budget is not None else _UNBOUNDED_POOL_BYTES
+        )
         self._builder = ContextIndexBuilder(self.config.index_build)
         self._context_counter = itertools.count()
+        self._pending_fine: set[str] = set()
 
     # ------------------------------------------------------------------
     # helpers
@@ -67,6 +92,65 @@ class DB:
     def get_context(self, context_id: str) -> StoredContext:
         return self.store_registry.get(context_id)
 
+    @property
+    def buffer_stats(self) -> BufferStats:
+        """Hit/miss/eviction counters of the context residency pool."""
+        return self.buffer_manager.stats
+
+    @property
+    def num_pending_index_builds(self) -> int:
+        return len(self._pending_fine)
+
+    # ------------------------------------------------------------------
+    # residency accounting (buffer-manager mirror of the context store)
+    # ------------------------------------------------------------------
+    def _kv_block_key(self, context_id: str) -> str:
+        return f"kv/{context_id}"
+
+    def _index_block_key(self, context_id: str) -> str:
+        return f"index/{context_id}"
+
+    def _account_residency(self, context: StoredContext) -> None:
+        """Record an access to a context's hot data in the buffer pool.
+
+        A resident context counts as a hit; a freshly added or reloaded one
+        as a miss.  The pool is an accounting mirror — residency itself is
+        governed by the ContextStore — so pool-capacity pressure is absorbed
+        rather than raised.
+        """
+        kv_key = self._kv_block_key(context.context_id)
+        try:
+            self.buffer_manager.get(
+                kv_key, loader=lambda: ResidencyBlock(kv_key, context.kv_bytes)
+            )
+        except BufferPoolExhaustedError:
+            pass
+        if context.fine_indexes:
+            index_key = self._index_block_key(context.context_id)
+            try:
+                self.buffer_manager.get(
+                    index_key,
+                    loader=lambda: ResidencyBlock(index_key, context.index_bytes, BlockType.INDEX),
+                )
+            except BufferPoolExhaustedError:
+                pass
+
+    def _context_spilled(self, context: StoredContext) -> None:
+        self.buffer_manager.remove(self._kv_block_key(context.context_id))
+        self.buffer_manager.remove(self._index_block_key(context.context_id))
+        self._pending_fine.discard(context.context_id)
+
+    def _context_reloaded(self, context: StoredContext) -> None:
+        # indexes were dropped at spill time: the coarse ones are cheap and
+        # rebuilt immediately, the fine ones lazily (first sparse use or
+        # build_pending) — the rebuild falls back to indexing with the keys
+        # themselves because query samples are not persisted.  Contexts that
+        # opted out of an index class at import time stay index-free.
+        if context.wants_coarse_indexes:
+            self._build_coarse_indexes(context)
+        if context.wants_fine_indexes:
+            self._pending_fine.add(context.context_id)
+
     # ------------------------------------------------------------------
     # Table 2: DB.create_session(prompts) -> Session, prompts
     # ------------------------------------------------------------------
@@ -79,19 +163,33 @@ class DB:
 
         The longest common prefix between the prompt and any stored context is
         reused through the session; only the remaining suffix is returned and
-        must be prefilled by the caller's model.
+        must be prefilled by the caller's model.  A matched context that was
+        spilled to disk is transparently reloaded, and it stays pinned in
+        memory until the session is closed.
         """
         tokens = self._tokenize(prompts)
         match = self.store_registry.find_longest_prefix(tokens)
         useful = match.is_hit and match.prefix_length >= self.config.min_reuse_tokens
-        context = match.context if useful else None
-        reused = match.prefix_length if useful else 0
+        context: StoredContext | None = None
+        reused = 0
+        index_provider = None
+        on_close = None
+        if useful:
+            context_id = match.context.context_id
+            context = self.store_registry.ensure_resident(context_id)
+            reused = match.prefix_length
+            self._account_residency(context)
+            self.store_registry.pin(context_id)
+            index_provider = lambda ctx=context: self._ensure_fine_indexes(ctx)
+            on_close = lambda cid=context_id: self.store_registry.unpin(cid)
         session = Session(
             config=self.config,
             context=context,
             reused_prefix_length=reused,
             num_layers=context.num_layers if context is not None else None,
             gpu_memory_budget_bytes=gpu_memory_budget_bytes,
+            index_provider=index_provider,
+            on_close=on_close,
         )
         truncated = tokens[reused:]
         return session, truncated
@@ -107,8 +205,15 @@ class DB:
         context_id: str | None = None,
         build_fine_indexes: bool = True,
         build_coarse_indexes: bool = True,
+        lazy_fine_indexes: bool | None = None,
     ) -> StoredContext:
-        """Import an already-computed context (prompt + KV cache) for reuse."""
+        """Import an already-computed context (prompt + KV cache) for reuse.
+
+        ``lazy_fine_indexes`` (default: the config's ``lazy_index_build``)
+        defers fine-index construction off the ingest path; the indexes are
+        built on the context's first sparse-attention use or by
+        :meth:`build_pending`.
+        """
         tokens = self._tokenize(prompts)
         if isinstance(kv_cache, KVSnapshot):
             snapshot = kv_cache
@@ -122,11 +227,13 @@ class DB:
         context = StoredContext(context_id=context_id, snapshot=snapshot)
         if query_samples:
             context.query_samples = {layer: np.asarray(q, dtype=np.float32) for layer, q in query_samples.items()}
-        if build_fine_indexes:
-            self._build_fine_indexes(context)
-        if build_coarse_indexes:
-            self._build_coarse_indexes(context)
-        self.store_registry.add(context)
+        self._register_context(
+            context,
+            build_fine_indexes=build_fine_indexes,
+            build_coarse_indexes=build_coarse_indexes,
+            lazy_fine_indexes=lazy_fine_indexes,
+            overwrite=False,
+        )
         return context
 
     # ------------------------------------------------------------------
@@ -139,6 +246,7 @@ class DB:
         context_id: str | None = None,
         build_fine_indexes: bool = True,
         build_coarse_indexes: bool = True,
+        lazy_fine_indexes: bool | None = None,
     ) -> StoredContext:
         """Persist all of a session's state as a new reusable context.
 
@@ -155,7 +263,7 @@ class DB:
         keys: dict[int, np.ndarray] = {}
         values: dict[int, np.ndarray] = {}
         for layer in range(num_layers):
-            layer_keys, layer_values = session._materialized_kv(layer)
+            layer_keys, layer_values = session.materialized_kv(layer)
             keys[layer] = np.ascontiguousarray(layer_keys)
             values[layer] = np.ascontiguousarray(layer_values)
         total_tokens = keys[0].shape[1] if keys else 0
@@ -171,12 +279,34 @@ class DB:
         samples = session.query_samples
         if samples:
             context.query_samples = samples
-        if build_fine_indexes:
+        self._register_context(
+            context,
+            build_fine_indexes=build_fine_indexes,
+            build_coarse_indexes=build_coarse_indexes,
+            lazy_fine_indexes=lazy_fine_indexes,
+            overwrite=True,
+        )
+        return context
+
+    def _register_context(
+        self,
+        context: StoredContext,
+        build_fine_indexes: bool,
+        build_coarse_indexes: bool,
+        lazy_fine_indexes: bool | None,
+        overwrite: bool,
+    ) -> None:
+        lazy = self.config.lazy_index_build if lazy_fine_indexes is None else lazy_fine_indexes
+        context.wants_fine_indexes = build_fine_indexes
+        context.wants_coarse_indexes = build_coarse_indexes
+        if build_fine_indexes and not lazy:
             self._build_fine_indexes(context)
         if build_coarse_indexes:
             self._build_coarse_indexes(context)
-        self.store_registry.add(context, overwrite=True)
-        return context
+        self.store_registry.add(context, overwrite=overwrite)
+        if build_fine_indexes and lazy:
+            self._pending_fine.add(context.context_id)
+        self._account_residency(context)
 
     # ------------------------------------------------------------------
     # convenience: prefill a prompt with a model and import the result
@@ -188,6 +318,7 @@ class DB:
         context_id: str | None = None,
         build_fine_indexes: bool = True,
         build_coarse_indexes: bool = True,
+        lazy_fine_indexes: bool | None = None,
     ) -> StoredContext:
         """Run a full prefill of ``prompts`` and import the resulting context.
 
@@ -205,12 +336,14 @@ class DB:
             context_id=context_id,
             build_fine_indexes=build_fine_indexes,
             build_coarse_indexes=build_coarse_indexes,
+            lazy_fine_indexes=lazy_fine_indexes,
         )
 
     # ------------------------------------------------------------------
     # index construction
     # ------------------------------------------------------------------
-    def _build_fine_indexes(self, context: StoredContext) -> None:
+    def _build_fine_indexes(self, context: StoredContext, builder: ContextIndexBuilder | None = None) -> None:
+        builder = builder or self._builder
         keys_per_layer = context.snapshot.keys
         queries_per_layer: dict[int, np.ndarray] = {}
         for layer, keys in keys_per_layer.items():
@@ -220,7 +353,7 @@ class DB:
                 # keeps the index functional)
                 sample = keys
             queries_per_layer[layer] = np.asarray(sample, dtype=np.float32)
-        layer_indexes, _ = self._builder.build_context(keys_per_layer, queries_per_layer)
+        layer_indexes, _ = builder.build_context(keys_per_layer, queries_per_layer)
         context.fine_indexes = layer_indexes
 
     def _build_coarse_indexes(self, context: StoredContext) -> None:
@@ -234,10 +367,54 @@ class DB:
             coarse[layer] = per_head
         context.coarse_indexes = coarse
 
-    def rebuild_indexes(self, context_id: str, index_build: IndexBuildConfig | None = None) -> LayerIndexes | None:
-        """Rebuild a context's fine indexes (e.g. after changing build options)."""
-        context = self.store_registry.get(context_id)
-        if index_build is not None:
-            self._builder = ContextIndexBuilder(index_build)
+    def _ensure_fine_indexes(self, context: StoredContext) -> bool:
+        """Build a context's deferred fine indexes; True when indexes exist."""
+        context_id = context.context_id
+        if context_id not in self._pending_fine:
+            return context.has_fine_indexes
+        if not context.is_resident:
+            return False
         self._build_fine_indexes(context)
+        self._pending_fine.discard(context_id)
+        # refresh the residency mirror with the new index footprint
+        index_key = self._index_block_key(context_id)
+        self.buffer_manager.remove(index_key)
+        try:
+            self.buffer_manager.put(ResidencyBlock(index_key, context.index_bytes, BlockType.INDEX))
+        except BufferPoolExhaustedError:
+            pass
+        return True
+
+    def build_pending(self, limit: int | None = None) -> int:
+        """Build deferred fine indexes for up to ``limit`` resident contexts.
+
+        The scheduler drains these between steps; spilled contexts are left
+        pending (reloading them just to index would defeat the budget).
+        Returns the number of contexts whose indexes were built.
+        """
+        built = 0
+        for context_id in sorted(self._pending_fine):
+            if limit is not None and built >= limit:
+                break
+            if context_id not in self.store_registry:
+                # removed since it was queued; drop the stale entry
+                self._pending_fine.discard(context_id)
+                continue
+            context = self.store_registry.get(context_id)
+            if not context.is_resident:
+                continue
+            if self._ensure_fine_indexes(context):
+                built += 1
+        return built
+
+    def rebuild_indexes(self, context_id: str, index_build: IndexBuildConfig | None = None) -> LayerIndexes | None:
+        """Rebuild a context's fine indexes (e.g. after changing build options).
+
+        A one-off ``index_build`` applies only to this rebuild; the DB's
+        configured builder is untouched.
+        """
+        context = self.store_registry.ensure_resident(context_id)
+        builder = self._builder if index_build is None else ContextIndexBuilder(index_build)
+        self._build_fine_indexes(context, builder=builder)
+        self._pending_fine.discard(context_id)
         return next(iter(context.fine_indexes.values()), None)

@@ -1,31 +1,46 @@
-"""A minimal serving layer on top of the DB/Session interface.
+"""The serving layer: a memory-governed, multi-request scheduler over the DB.
 
 The paper's deployment story (Section 8) is a Model-as-a-Service provider
 running many concurrent requests against a library of stored contexts.  This
-module provides the small amount of glue such a service needs on top of
-:class:`~repro.core.db.DB`:
+module provides that serving stack on top of :class:`~repro.core.db.DB`:
 
-* ingest documents once and reuse them across requests,
-* create one session per request, run generation, and record the SLO metrics
-  (TTFT / TPOT) and the GPU residency of every request,
-* optionally persist finished conversations back into the store so follow-up
-  requests reuse them.
+* ``submit()`` enqueues a request (with optional priority / SLO class);
+* ``step()`` runs one scheduler round: admission control against a global
+  GPU-memory budget, then one unit of work — a prefill chunk or a decode
+  step — for every in-flight request, so long prefills interleave with other
+  requests' decodes;
+* ``drain()`` steps until everything submitted has finished;
+* ``serve()`` remains the one-request convenience wrapper (submit + drain).
 
-It is intentionally synchronous — the substrate is single-threaded NumPy —
-but the accounting (per-request stats, aggregate SLO report, peak resident
-bytes) mirrors what a production deployment would export.
+The substrate is single-threaded NumPy, so "concurrency" means interleaving
+work across in-flight sessions rather than parallel threads — but the
+accounting (per-request stats, queue/TTFT/TPOT, admission decisions, buffer
+hit ratios, peak resident bytes) mirrors what a production deployment would
+export.
 """
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import AdmissionRejectedError
 from ..llm.generation import GenerationLoop, GenerationResult
 from ..llm.model import TransformerModel
+from ..llm.sampling import sample_token
+from ..scheduler import (
+    AdmissionController,
+    InFlightRequest,
+    Request,
+    RequestScheduler,
+    make_policy,
+)
 from ..simulator.cost_model import CostModel
 from ..simulator.slo import SLO, SLOReport, SLOTracker
+from ..storage.buffer_manager import BufferStats
 from .config import AlayaDBConfig
 from .db import DB
 from .session import Session
@@ -45,6 +60,7 @@ class RequestRecord:
     tpot_seconds: float
     modeled_tpot_seconds: float
     gpu_resident_bytes: int
+    queue_seconds: float = 0.0
     stored_context_id: str | None = None
 
     @property
@@ -57,6 +73,9 @@ class ServiceStats:
     """Aggregate statistics over every request served so far."""
 
     records: list[RequestRecord] = field(default_factory=list)
+    rejected: int = 0
+    buffer: BufferStats | None = None
+    """Live view of the DB's context-residency pool counters."""
 
     @property
     def num_requests(self) -> int:
@@ -78,9 +97,28 @@ class ServiceStats:
             return 0.0
         return float(np.mean([r.modeled_tpot_seconds for r in self.records]))
 
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(r.generated_tokens for r in self.records)
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        return self.buffer.hit_ratio if self.buffer is not None else 0.0
+
 
 class InferenceService:
-    """Serves generation requests through AlayaDB with SLO accounting."""
+    """Serves generation requests through AlayaDB with SLO accounting.
+
+    Also the scheduler's execution backend: the
+    :class:`~repro.scheduler.RequestScheduler` calls back into
+    ``estimate_request_bytes`` / ``begin_request`` / ``prefill_chunk`` /
+    ``decode_step`` / ``finish_request`` to run admitted requests.
+    """
+
+    MAX_RETAINED_RESULTS = 1024
+    """Finished-request outcomes kept for :meth:`result` lookups; beyond this
+    the oldest are dropped so a long-running service does not accumulate
+    every generation it ever produced."""
 
     def __init__(
         self,
@@ -88,22 +126,35 @@ class InferenceService:
         config: AlayaDBConfig | None = None,
         cost_model: CostModel | None = None,
         store_conversations: bool = False,
+        storage_dir=None,
     ):
         self.model = model
         self.config = config or AlayaDBConfig()
-        self.db = DB(self.config)
+        self.db = DB(self.config, storage_dir=storage_dir)
         self.loop = GenerationLoop(model)
         self.cost_model = cost_model or CostModel()
         self.store_conversations = store_conversations
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(buffer=self.db.buffer_stats)
         self.slo_tracker = SLOTracker(self.config.slo)
+        self.scheduler = RequestScheduler(
+            backend=self,
+            policy=make_policy(self.config.scheduler_policy),
+            admission=AdmissionController(self.config.scheduler_gpu_budget_bytes),
+            max_inflight=self.config.max_inflight_requests,
+            drain_index_builds=self.config.scheduler_drain_index_builds,
+        )
+        self._results: OrderedDict[int, tuple[GenerationResult, RequestRecord]] = OrderedDict()
         self._request_counter = 0
 
     # ------------------------------------------------------------------
     # document management
     # ------------------------------------------------------------------
     def ingest(self, document: str | list[int], context_id: str | None = None) -> str:
-        """Import a document (prefill + index construction) for later reuse."""
+        """Import a document (prefill + index construction) for later reuse.
+
+        With ``lazy_index_build`` configured, fine indexes are deferred to the
+        first sparse use, cutting ingest latency.
+        """
         context = self.db.prefill_and_import(self.model, document, context_id=context_id)
         return context.context_id
 
@@ -112,30 +163,147 @@ class InferenceService:
         return self.db.num_contexts
 
     # ------------------------------------------------------------------
-    # serving
+    # serving: submit / step / drain
     # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt: str | list[int],
+        max_new_tokens: int = 16,
+        priority: int = 0,
+        slo: SLO | None = None,
+        gpu_memory_budget_bytes: int | None = None,
+    ) -> int:
+        """Enqueue a request; returns its id for :meth:`result` lookup."""
+        self._request_counter += 1
+        request = Request(
+            request_id=self._request_counter,
+            prompt_tokens=self.db._tokenize(prompt),
+            max_new_tokens=max_new_tokens,
+            priority=priority,
+            slo=slo,
+            gpu_memory_budget_bytes=gpu_memory_budget_bytes,
+        )
+        self.scheduler.submit(request)
+        return request.request_id
+
+    def step(self) -> list[int]:
+        """One scheduler round; returns ids of requests it finished."""
+        return [fl.request.request_id for fl in self.scheduler.step()]
+
+    def drain(self, max_steps: int | None = None) -> list[tuple[GenerationResult, RequestRecord]]:
+        """Run the scheduler until all submitted requests are done."""
+        finished = self.scheduler.drain(max_steps=max_steps)
+        return [
+            self._results[fl.request.request_id]
+            for fl in finished
+            if fl.request.request_id in self._results
+        ]
+
+    def result(self, request_id: int) -> tuple[GenerationResult, RequestRecord] | None:
+        """The outcome of a finished request (None while pending or rejected)."""
+        return self._results.get(request_id)
+
     def serve(
         self,
         prompt: str | list[int],
         max_new_tokens: int = 16,
         gpu_memory_budget_bytes: int | None = None,
     ) -> tuple[GenerationResult, RequestRecord]:
-        """Serve one request end to end and record its metrics."""
-        self._request_counter += 1
-        request_id = self._request_counter
-        prompt_tokens = self.db._tokenize(prompt)
-
-        session, truncated = self.db.create_session(
-            prompt_tokens, gpu_memory_budget_bytes=gpu_memory_budget_bytes
+        """Serve one request end to end (thin wrapper over submit + drain)."""
+        request_id = self.submit(
+            prompt, max_new_tokens=max_new_tokens, gpu_memory_budget_bytes=gpu_memory_budget_bytes
         )
-        result = self.loop.run_tokens(truncated, cache=session, max_new_tokens=max_new_tokens)
-        record = self._record(request_id, prompt_tokens, session, result)
-        if self.store_conversations:
-            stored = self.db.store(session, context_id=f"conversation-{request_id:04d}")
-            record.stored_context_id = stored.context_id
-        self.stats.records.append(record)
-        return result, record
+        self.drain()
+        outcome = self._results.get(request_id)
+        if outcome is None:
+            raise AdmissionRejectedError(
+                f"request {request_id} was rejected by admission control "
+                f"(scheduler_gpu_budget_bytes={self.config.scheduler_gpu_budget_bytes})"
+            )
+        return outcome
 
+    # ------------------------------------------------------------------
+    # scheduler backend protocol
+    # ------------------------------------------------------------------
+    def estimate_request_bytes(self, request: Request) -> int:
+        """Estimated GPU-resident footprint: window + KV appended in flight."""
+        match = self.db.store_registry.find_longest_prefix(request.prompt_tokens)
+        reused = (
+            match.prefix_length
+            if match.is_hit and match.prefix_length >= self.config.min_reuse_tokens
+            else 0
+        )
+        per_token = self.model.kv_bytes_per_token()
+        appended_tokens = len(request.prompt_tokens) - reused + request.max_new_tokens
+        window_tokens = min(self.config.window_total_tokens, reused)
+        return (appended_tokens + window_tokens) * per_token
+
+    def begin_request(self, request: Request) -> InFlightRequest:
+        session, truncated = self.db.create_session(
+            request.prompt_tokens, gpu_memory_budget_bytes=request.gpu_memory_budget_bytes
+        )
+        # an empty suffix (full prefix reuse) still needs one forward pass to
+        # produce first-token logits, exactly like GenerationLoop.run_tokens
+        pending = list(truncated) if truncated else [self.loop.tokenizer.bos_id]
+        return InFlightRequest(
+            request=request,
+            session=session,
+            pending_tokens=pending,
+            truncated_tokens=list(truncated),
+            rng=self.loop.sampling.make_rng(),
+        )
+
+    def prefill_chunk(self, inflight: InFlightRequest) -> None:
+        chunk = inflight.pending_tokens[: self.config.prefill_chunk_tokens]
+        del inflight.pending_tokens[: len(chunk)]
+        start = time.perf_counter()
+        logits, _ = self.model.prefill(np.asarray(chunk, dtype=np.int64), inflight.session)
+        inflight.prefill_seconds += time.perf_counter() - start
+        if not inflight.pending_tokens:
+            self._append_token(inflight, sample_token(logits, self.loop.sampling, inflight.rng))
+
+    def decode_step(self, inflight: InFlightRequest) -> None:
+        start = time.perf_counter()
+        logits = self.model.decode_step(inflight.generated[-1], inflight.session)
+        inflight.decode_seconds.append(time.perf_counter() - start)
+        self._append_token(inflight, sample_token(logits, self.loop.sampling, inflight.rng))
+
+    def _append_token(self, inflight: InFlightRequest, token: int) -> None:
+        inflight.generated.append(token)
+        if token == self.loop.tokenizer.eos_id:
+            inflight.finished_by_eos = True
+
+    def finish_request(self, inflight: InFlightRequest) -> None:
+        request = inflight.request
+        result = GenerationResult(
+            prompt_tokens=inflight.truncated_tokens,
+            generated_tokens=inflight.generated,
+            text=self.loop.tokenizer.decode(inflight.generated),
+            ttft_seconds=inflight.prefill_seconds,
+            decode_seconds=inflight.decode_seconds,
+            finished_by_eos=inflight.finished_by_eos,
+        )
+        record = self._record(request.request_id, request.prompt_tokens, inflight.session, result)
+        record.queue_seconds = inflight.queue_seconds
+        if self.store_conversations:
+            stored = self.db.store(inflight.session, context_id=f"conversation-{request.request_id:04d}")
+            record.stored_context_id = stored.context_id
+        inflight.session.close()
+        self.stats.records.append(record)
+        self._results[request.request_id] = (result, record)
+        while len(self._results) > self.MAX_RETAINED_RESULTS:
+            self._results.popitem(last=False)
+
+    def reject_request(self, request: Request) -> None:
+        self.stats.rejected += 1
+
+    def between_steps(self) -> None:
+        """Slack work between scheduler steps: drain one deferred index build."""
+        self.db.build_pending(limit=1)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
     def _record(
         self,
         request_id: int,
@@ -172,3 +340,19 @@ class InferenceService:
         """Raise when the aggregate modelled TPOT misses the configured SLO."""
         report = self.slo_report()
         self.config.slo.require_tpot(report.tpot_mean, context="(service aggregate)")
+
+    def memory_report(self) -> dict[str, int | float]:
+        """Residency and buffer-pool accounting across the serving stack."""
+        store = self.db.store_registry
+        buffer = self.db.buffer_stats
+        return {
+            "resident_kv_bytes": store.resident_kv_bytes,
+            "total_kv_bytes": store.total_kv_bytes,
+            "context_spills": store.spill_count,
+            "context_reloads": store.reload_count,
+            "buffer_hits": buffer.hits,
+            "buffer_misses": buffer.misses,
+            "buffer_hit_ratio": buffer.hit_ratio,
+            "pending_index_builds": self.db.num_pending_index_builds,
+            "admission_committed_bytes": self.scheduler.admission.committed_bytes,
+        }

@@ -76,6 +76,8 @@ class Session:
         reused_prefix_length: int = 0,
         num_layers: int | None = None,
         gpu_memory_budget_bytes: int | None = None,
+        index_provider=None,
+        on_close=None,
     ):
         self.config = config or AlayaDBConfig()
         self.context = context
@@ -84,6 +86,8 @@ class Session:
             self.reused_prefix_length = context.num_tokens
         self._num_layers = num_layers or (context.num_layers if context is not None else None)
         self.gpu_memory_budget_bytes = gpu_memory_budget_bytes
+        self._index_provider = index_provider
+        self._on_close = on_close
 
         self._closed = False
         self._dims: _ModelDims | None = None
@@ -104,7 +108,12 @@ class Session:
     # lifecycle and introspection
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -237,6 +246,14 @@ class Session:
             return self._full_attention(q, layer)
         return self._sparse_attention(q, layer)
 
+    def materialized_kv(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Full KV visible at ``layer``: stored prefix + locally appended.
+
+        This is the late-materialization point ``DB.store`` reads when a
+        session's accumulated state is persisted as a new context.
+        """
+        return self._materialized_kv(layer)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -287,7 +304,13 @@ class Session:
         if plan is None or plan.is_full_attention:
             return False
         if plan.index_kind == "fine" and layer not in self.context.fine_indexes:
-            return False
+            # lazy build mode: the first sparse use pays for index
+            # construction instead of the ingest path
+            if self._index_provider is not None:
+                provider, self._index_provider = self._index_provider, None
+                provider()
+            if layer not in self.context.fine_indexes:
+                return False
         if plan.index_kind == "coarse" and layer not in self.context.coarse_indexes:
             return False
         return True
@@ -300,12 +323,15 @@ class Session:
         fine = context.fine_indexes.get(layer)
         coarse = context.coarse_indexes.get(layer)
         dims = self._dims
+        # the query-head → index mapping must use the model's GQA group size;
+        # the builder's own group size can differ (e.g. indexes rebuilt after
+        # a reload fall back to key-vector query samples)
         data = LayerIndexData(
             keys=context.keys(layer),
             fine_indexes=fine.indexes if fine is not None else None,
             coarse_indexes=coarse,
             shared=fine.shared if fine is not None else True,
-            gqa_group_size=(fine.gqa_group_size if fine is not None else (dims.gqa_group_size if dims else 1)),
+            gqa_group_size=(dims.gqa_group_size if dims is not None else (fine.gqa_group_size if fine is not None else 1)),
         )
         self._layer_data[layer] = data
         return data

@@ -33,6 +33,15 @@ class DuplicateContextError(DatabaseError):
     """A context with the same id has already been imported."""
 
 
+class ContextEvictedError(DatabaseError):
+    """The KV data of a spilled context was accessed without reloading it."""
+
+
+class AdmissionRejectedError(DatabaseError):
+    """A request was rejected by admission control (it can never fit the
+    configured GPU memory budget)."""
+
+
 class QueryError(ReproError):
     """Base class for query-processing errors."""
 

@@ -1,0 +1,39 @@
+"""Request scheduling for concurrent serving (Section 8, Model-as-a-Service).
+
+The scheduler turns the one-request-at-a-time serving loop into a
+step-driven, memory-governed pipeline:
+
+* :class:`~repro.scheduler.request.Request` — a queued generation request
+  with priority and (optional) SLO class;
+* :class:`~repro.scheduler.policy.SchedulerPolicy` — the admission order
+  (FCFS or SLO-aware least-slack-first);
+* :class:`~repro.scheduler.admission.AdmissionController` — global
+  GPU-memory admission control across all in-flight requests;
+* :class:`~repro.scheduler.scheduler.RequestScheduler` — the step loop that
+  interleaves chunked prefill and decode across in-flight sessions.
+
+The package is deliberately independent of :mod:`repro.core`: it drives any
+backend implementing the :class:`~repro.scheduler.scheduler.SchedulerBackend`
+protocol (``InferenceService`` is the production one).
+"""
+
+from .admission import AdmissionController, AdmissionDecision, AdmissionStats
+from .policy import FCFSPolicy, SchedulerPolicy, SLOAwarePolicy, make_policy
+from .request import InFlightRequest, Request, RequestState
+from .scheduler import RequestScheduler, SchedulerBackend, SchedulerStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "FCFSPolicy",
+    "InFlightRequest",
+    "Request",
+    "RequestScheduler",
+    "RequestState",
+    "SchedulerBackend",
+    "SchedulerPolicy",
+    "SchedulerStats",
+    "SLOAwarePolicy",
+    "make_policy",
+]

@@ -1,0 +1,62 @@
+"""Admission-order policies for the request scheduler."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from .request import Request
+
+__all__ = ["SchedulerPolicy", "FCFSPolicy", "SLOAwarePolicy", "make_policy"]
+
+
+class SchedulerPolicy(abc.ABC):
+    """Chooses which queued request to consider for admission next."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def select(self, queue: Sequence[Request], now: float) -> int:
+        """Index into ``queue`` of the request to try admitting next."""
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """First come, first served: strict arrival order."""
+
+    name = "fcfs"
+
+    def select(self, queue: Sequence[Request], now: float) -> int:
+        return 0
+
+
+class SLOAwarePolicy(SchedulerPolicy):
+    """Least TTFT slack first, with priority and arrival-order tiebreaks.
+
+    A request whose SLO deadline is about to pass (small or negative slack)
+    jumps ahead of requests with loose or absent deadlines; explicit
+    ``priority`` dominates slack so operators can force ordering.
+    """
+
+    name = "slo"
+
+    def __init__(self, default_ttft_seconds: float = 60.0):
+        self.default_ttft_seconds = default_ttft_seconds
+
+    def select(self, queue: Sequence[Request], now: float) -> int:
+        def urgency(indexed: tuple[int, Request]) -> tuple[float, float, int]:
+            _, request = indexed
+            slack = request.ttft_slack(now)
+            if slack == float("inf"):
+                slack = self.default_ttft_seconds - request.waited_seconds(now)
+            return (-request.priority, slack, request.arrival_order)
+
+        return min(enumerate(queue), key=urgency)[0]
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Policy factory for the config's ``scheduler_policy`` knob."""
+    if name == "fcfs":
+        return FCFSPolicy()
+    if name in ("slo", "slo-aware"):
+        return SLOAwarePolicy()
+    raise ValueError(f"unknown scheduler policy {name!r} (expected 'fcfs' or 'slo')")

@@ -1,0 +1,91 @@
+"""Request objects flowing through the serving scheduler."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..simulator.slo import SLO
+
+__all__ = ["RequestState", "Request", "InFlightRequest"]
+
+
+class RequestState:
+    """Lifecycle of a request: queued → running → finished (or rejected)."""
+
+    QUEUED = "queued"
+    DEFERRED = "deferred"
+    """Still queued, but at least one admission attempt found no free budget."""
+    RUNNING = "running"
+    FINISHED = "finished"
+    REJECTED = "rejected"
+
+
+@dataclass
+class Request:
+    """One queued generation request."""
+
+    request_id: int
+    prompt_tokens: list[int]
+    max_new_tokens: int = 16
+    priority: int = 0
+    """Higher values are scheduled first by the SLO-aware policy."""
+    slo: SLO | None = None
+    """Per-request latency class; its TTFT deadline drives SLO-aware order."""
+    gpu_memory_budget_bytes: int | None = None
+    """Per-session budget forwarded to the optimizer (not admission control)."""
+    submitted_at: float = 0.0
+    arrival_order: int = 0
+    state: str = RequestState.QUEUED
+
+    @property
+    def num_prompt_tokens(self) -> int:
+        return len(self.prompt_tokens)
+
+    def waited_seconds(self, now: float) -> float:
+        return max(0.0, now - self.submitted_at)
+
+    def ttft_slack(self, now: float) -> float:
+        """Seconds of TTFT slack left; ``+inf`` without an SLO deadline."""
+        if self.slo is None:
+            return math.inf
+        return self.slo.ttft_slack(self.waited_seconds(now))
+
+
+@dataclass
+class InFlightRequest:
+    """Execution state of an admitted request, advanced one step at a time.
+
+    ``session`` and ``rng`` are opaque to the scheduler — the backend owns
+    their types (an AlayaDB ``Session`` and a numpy generator in the
+    production service).
+    """
+
+    request: Request
+    session: Any
+    pending_tokens: list[int]
+    """Prompt suffix still to prefill (shrinks chunk by chunk)."""
+    truncated_tokens: list[int] = field(default_factory=list)
+    """The original non-reused prompt suffix (for result reporting)."""
+    reserved_bytes: int = 0
+    generated: list[int] = field(default_factory=list)
+    decode_seconds: list[float] = field(default_factory=list)
+    prefill_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    rng: Any = None
+    finished_by_eos: bool = False
+
+    @property
+    def needs_prefill(self) -> bool:
+        return bool(self.pending_tokens)
+
+    @property
+    def num_generated(self) -> int:
+        return len(self.generated)
+
+    @property
+    def is_finished(self) -> bool:
+        if self.needs_prefill:
+            return False
+        return self.finished_by_eos or self.num_generated >= max(self.request.max_new_tokens, 1)

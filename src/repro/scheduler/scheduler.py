@@ -1,0 +1,193 @@
+"""The step-driven request scheduler.
+
+Each :meth:`RequestScheduler.step` (1) admits queued requests while slots and
+the memory budget allow, (2) gives every in-flight request one unit of work —
+a prefill chunk or one decode step — so long prefills interleave with other
+requests' decodes, (3) retires finished requests and releases their admission
+reservations, and (4) optionally drains one deferred index build.
+
+The scheduler knows nothing about models or databases: a
+:class:`SchedulerBackend` supplies the actual work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+from .admission import AdmissionController, AdmissionDecision
+from .policy import FCFSPolicy, SchedulerPolicy
+from .request import InFlightRequest, Request, RequestState
+
+__all__ = ["SchedulerBackend", "SchedulerStats", "RequestScheduler"]
+
+
+class SchedulerBackend(Protocol):
+    """What the scheduler needs from the serving layer."""
+
+    def estimate_request_bytes(self, request: Request) -> int:
+        """Estimated GPU-resident bytes the request will pin while in flight."""
+
+    def begin_request(self, request: Request) -> InFlightRequest:
+        """Create the session / execution state for an admitted request."""
+
+    def prefill_chunk(self, inflight: InFlightRequest) -> None:
+        """Prefill the next chunk of the pending prompt suffix."""
+
+    def decode_step(self, inflight: InFlightRequest) -> None:
+        """Generate one token."""
+
+    def finish_request(self, inflight: InFlightRequest) -> None:
+        """Record results and release per-request resources."""
+
+    def reject_request(self, request: Request) -> None:
+        """Note a request admission control rejected outright."""
+
+    def between_steps(self) -> None:
+        """Optional slack work (deferred index builds) between steps."""
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing scheduler activity so far."""
+
+    steps: int = 0
+    prefill_chunks: int = 0
+    decode_steps: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    deferrals: int = 0
+    """Unique requests that waited on the memory budget at least once."""
+    completed: int = 0
+
+
+class RequestScheduler:
+    """Queue + admission control + interleaved prefill/decode step loop."""
+
+    def __init__(
+        self,
+        backend: SchedulerBackend,
+        policy: SchedulerPolicy | None = None,
+        admission: AdmissionController | None = None,
+        max_inflight: int = 8,
+        drain_index_builds: bool = False,
+    ):
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        self.backend = backend
+        self.policy = policy or FCFSPolicy()
+        self.admission = admission or AdmissionController()
+        self.max_inflight = max_inflight
+        self.drain_index_builds = drain_index_builds
+        self._queue: list[Request] = []
+        self._inflight: list[InFlightRequest] = []
+        self._arrival_counter = 0
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def num_inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue or self._inflight)
+
+    def queued_requests(self) -> list[Request]:
+        return list(self._queue)
+
+    def inflight_requests(self) -> list[InFlightRequest]:
+        return list(self._inflight)
+
+    # ------------------------------------------------------------------
+    # queueing
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue a request; it runs once admission control lets it in."""
+        request.submitted_at = time.monotonic()
+        request.arrival_order = self._arrival_counter
+        self._arrival_counter += 1
+        request.state = RequestState.QUEUED
+        self._queue.append(request)
+
+    # ------------------------------------------------------------------
+    # the step loop
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        while self._queue and len(self._inflight) < self.max_inflight:
+            now = time.monotonic()
+            index = self.policy.select(self._queue, now)
+            request = self._queue[index]
+            estimate = self.backend.estimate_request_bytes(request)
+            decision = self.admission.try_admit(estimate)
+            if decision == AdmissionDecision.REJECT:
+                self._queue.pop(index)
+                request.state = RequestState.REJECTED
+                self.stats.rejected += 1
+                self.backend.reject_request(request)
+                continue
+            if decision == AdmissionDecision.DEFER:
+                # not enough free budget until an in-flight request finishes;
+                # count each request's first deferral only (re-tried every step)
+                if request.state != RequestState.DEFERRED:
+                    request.state = RequestState.DEFERRED
+                    self.stats.deferrals += 1
+                break
+            self._queue.pop(index)
+            try:
+                inflight = self.backend.begin_request(request)
+            except Exception:
+                # the reservation must not leak when session setup fails
+                # (e.g. a spilled context's snapshot is gone from disk)
+                self.admission.release(estimate)
+                request.state = RequestState.REJECTED
+                self.stats.rejected += 1
+                self.backend.reject_request(request)
+                raise
+            inflight.reserved_bytes = estimate
+            inflight.queue_seconds = request.waited_seconds(now)
+            request.state = RequestState.RUNNING
+            self.stats.admitted += 1
+            self._inflight.append(inflight)
+
+    def step(self) -> list[InFlightRequest]:
+        """Run one scheduling round; returns the requests finished by it."""
+        self.stats.steps += 1
+        self._admit()
+        finished: list[InFlightRequest] = []
+        for inflight in list(self._inflight):
+            if inflight.needs_prefill:
+                self.backend.prefill_chunk(inflight)
+                self.stats.prefill_chunks += 1
+            else:
+                self.backend.decode_step(inflight)
+                self.stats.decode_steps += 1
+            if inflight.is_finished:
+                finished.append(inflight)
+        for inflight in finished:
+            self._inflight.remove(inflight)
+            inflight.request.state = RequestState.FINISHED
+            self.admission.release(inflight.reserved_bytes)
+            self.stats.completed += 1
+            self.backend.finish_request(inflight)
+        if self.drain_index_builds:
+            self.backend.between_steps()
+        return finished
+
+    def drain(self, max_steps: int | None = None) -> list[InFlightRequest]:
+        """Step until the queue and in-flight set are empty (or ``max_steps``)."""
+        finished: list[InFlightRequest] = []
+        steps = 0
+        while self.has_work:
+            finished.extend(self.step())
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return finished

@@ -2,10 +2,11 @@
 
 from .cost_model import CostModel, ModelShape
 from .device import Allocation, Device, DeviceKind, DeviceSet, DeviceSpec, GIB
-from .slo import HUMAN_READING_TPOT, SLO, SLOReport, SLOTracker
+from .slo import BATCH_SLO, HUMAN_READING_TPOT, INTERACTIVE_SLO, SLO, SLOReport, SLOTracker
 
 __all__ = [
     "Allocation",
+    "BATCH_SLO",
     "CostModel",
     "Device",
     "DeviceKind",
@@ -13,6 +14,7 @@ __all__ = [
     "DeviceSpec",
     "GIB",
     "HUMAN_READING_TPOT",
+    "INTERACTIVE_SLO",
     "ModelShape",
     "SLO",
     "SLOReport",

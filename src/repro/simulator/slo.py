@@ -8,13 +8,21 @@ reports compliance.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import SLOViolationError
 
-__all__ = ["SLO", "SLOReport", "SLOTracker", "HUMAN_READING_TPOT"]
+__all__ = [
+    "SLO",
+    "SLOReport",
+    "SLOTracker",
+    "HUMAN_READING_TPOT",
+    "INTERACTIVE_SLO",
+    "BATCH_SLO",
+]
 
 
 HUMAN_READING_TPOT = 0.24
@@ -42,6 +50,23 @@ class SLO:
             raise SLOViolationError(
                 f"TPOT {measured:.3f}s exceeds SLO {self.tpot_seconds:.3f}s {context}".strip()
             )
+
+    def ttft_slack(self, waited_seconds: float) -> float:
+        """Seconds remaining until the TTFT deadline after waiting this long.
+
+        Negative once the deadline has passed; ``+inf`` when no TTFT target is
+        configured.  Deadline-aware schedulers order requests by this slack.
+        """
+        if self.ttft_seconds is None:
+            return math.inf
+        return self.ttft_seconds - waited_seconds
+
+
+INTERACTIVE_SLO = SLO(tpot_seconds=HUMAN_READING_TPOT, ttft_seconds=2.0)
+"""A chat-style request class: human-reading TPOT plus a tight TTFT deadline."""
+
+BATCH_SLO = SLO(tpot_seconds=4 * HUMAN_READING_TPOT, ttft_seconds=None)
+"""A throughput-oriented request class with no TTFT deadline."""
 
 
 @dataclass

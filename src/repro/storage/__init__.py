@@ -1,6 +1,6 @@
 """Vector storage engine: block layout, vector files, buffer manager."""
 
-from .blocks import BlockId, BlockType, DataBlock, IndexBlock
+from .blocks import BlockId, BlockType, DataBlock, IndexBlock, ResidencyBlock
 from .buffer_manager import BufferFrame, BufferManager, BufferStats
 from .filesystem import VectorFileKey, VectorFileSystem
 from .io_model import IOModel, IOStats
@@ -16,6 +16,7 @@ __all__ = [
     "IOModel",
     "IOStats",
     "IndexBlock",
+    "ResidencyBlock",
     "VectorFile",
     "VectorFileKey",
     "VectorFileMeta",

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["BlockType", "BlockId", "DataBlock", "IndexBlock"]
+__all__ = ["BlockType", "BlockId", "DataBlock", "IndexBlock", "ResidencyBlock"]
 
 
 class BlockType:
@@ -69,6 +69,28 @@ class DataBlock:
         if not self.contains(position):
             raise IndexError(f"position {position} not in block {self.block_id}")
         return self.vectors[position - self.start_position]
+
+
+@dataclass
+class ResidencyBlock:
+    """An accounting-only block: the bytes of a logical resident object.
+
+    The DB registers whole-context KV snapshots and fine indexes as residency
+    blocks so the buffer manager can track their hot-set hit ratios without
+    owning the underlying arrays (those stay in the context store).
+    """
+
+    block_id: str
+    resident_bytes: int
+    kind: str = BlockType.DATA
+
+    @property
+    def block_type(self) -> str:
+        return self.kind
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.resident_bytes)
 
 
 @dataclass

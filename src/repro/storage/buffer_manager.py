@@ -5,7 +5,8 @@ blocks (graph adjacency, touched on every traversal) are preferred residents;
 data blocks (raw vectors, typically read once per attention computation) are
 evicted first.  Within each class eviction is LRU.  Pinned blocks are never
 evicted.  Access is serialised with a lock so multiple worker threads can
-share one pool.
+share one pool; concurrent misses on the same block are single-flighted so
+``loader()`` runs at most once per block at a time.
 """
 
 from __future__ import annotations
@@ -62,6 +63,8 @@ class BufferManager:
         self.capacity_bytes = capacity_bytes
         self._frames: OrderedDict[str, BufferFrame] = OrderedDict()
         self._lock = threading.Lock()
+        self._used_bytes = 0
+        self._inflight: dict[str, threading.Event] = {}
         self.stats = BufferStats()
 
     # ------------------------------------------------------------------
@@ -69,7 +72,7 @@ class BufferManager:
     # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
-        return sum(frame.nbytes for frame in self._frames.values())
+        return self._used_bytes
 
     @property
     def num_blocks(self) -> int:
@@ -89,23 +92,42 @@ class BufferManager:
 
         ``loader`` must be a zero-argument callable returning the block; it is
         required on a miss.  ``pin`` keeps the block ineligible for eviction
-        until :meth:`unpin` is called.
+        until :meth:`unpin` is called.  Concurrent misses on the same block
+        are single-flighted: one caller runs the loader, the others wait for
+        it and then take the cached result.
         """
         key = str(block_id)
-        with self._lock:
-            frame = self._frames.get(key)
-            if frame is not None:
-                self.stats.hits += 1
-                self._frames.move_to_end(key)
-                if pin:
-                    frame.pin_count += 1
-                return frame.block
-            self.stats.misses += 1
-        if loader is None:
-            raise BufferPoolExhaustedError(f"block {key} not cached and no loader supplied")
-        block = loader()
-        self.put(block, pin=pin)
-        return block
+        while True:
+            with self._lock:
+                frame = self._frames.get(key)
+                if frame is not None:
+                    self.stats.hits += 1
+                    self._frames.move_to_end(key)
+                    if pin:
+                        frame.pin_count += 1
+                    return frame.block
+                pending = self._inflight.get(key)
+                if pending is None:
+                    self.stats.misses += 1
+                    if loader is None:
+                        raise BufferPoolExhaustedError(
+                            f"block {key} not cached and no loader supplied"
+                        )
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            # another thread is loading this block: wait, then re-check the
+            # pool (if the load failed or was evicted, this thread retries as
+            # the loader)
+            pending.wait()
+        try:
+            block = loader()
+            self.put(block, pin=pin)
+            return block
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            event.set()
 
     def put(self, block: DataBlock | IndexBlock, pin: bool = False) -> None:
         """Insert a block, evicting colder blocks as needed."""
@@ -119,6 +141,17 @@ class BufferManager:
             frame = BufferFrame(block=block, pin_count=1 if pin else 0)
             self._frames[key] = frame
             self._frames.move_to_end(key)
+            self._used_bytes += block.nbytes
+
+    def remove(self, block_id: BlockId | str) -> bool:
+        """Drop a block from the pool (no eviction counted); True if present."""
+        key = str(block_id)
+        with self._lock:
+            frame = self._frames.pop(key, None)
+            if frame is None:
+                return False
+            self._used_bytes -= frame.nbytes
+            return True
 
     def pin(self, block_id: BlockId | str) -> None:
         key = str(block_id)
@@ -135,6 +168,7 @@ class BufferManager:
     def clear(self) -> None:
         with self._lock:
             self._frames.clear()
+            self._used_bytes = 0
 
     # ------------------------------------------------------------------
     # eviction
@@ -147,19 +181,18 @@ class BufferManager:
 
     def _evict_until_fits(self, incoming_bytes: int, incoming_key: str) -> None:
         existing = self._frames.pop(incoming_key, None)
-        current = sum(frame.nbytes for frame in self._frames.values())
         if existing is not None:
-            pass  # replacing a block: its bytes are already excluded
-        if current + incoming_bytes <= self.capacity_bytes:
+            # replacing a block: its bytes no longer count against the budget
+            self._used_bytes -= existing.nbytes
+        if self._used_bytes + incoming_bytes <= self.capacity_bytes:
             return
         for key in self._eviction_candidates():
             frame = self._frames.pop(key)
-            current -= frame.nbytes
+            self._used_bytes -= frame.nbytes
             self.stats.evictions += 1
-            if current + incoming_bytes <= self.capacity_bytes:
+            if self._used_bytes + incoming_bytes <= self.capacity_bytes:
                 return
-        if current + incoming_bytes > self.capacity_bytes:
-            raise BufferPoolExhaustedError(
-                f"cannot fit {incoming_bytes} bytes: {current} bytes pinned or resident "
-                f"of {self.capacity_bytes} capacity"
-            )
+        raise BufferPoolExhaustedError(
+            f"cannot fit {incoming_bytes} bytes: {self._used_bytes} bytes pinned or resident "
+            f"of {self.capacity_bytes} capacity"
+        )

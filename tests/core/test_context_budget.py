@@ -1,0 +1,206 @@
+"""Tests of the memory-governed context store: byte budget, LRU spill to
+disk, transparent reload on prefix hits, and the token-trie prefix match."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlayaDBConfig
+from repro.core.context_store import ContextStore, StoredContext
+from repro.core.db import DB
+from repro.errors import ConfigError, ContextEvictedError
+from repro.kvcache.serialization import KVSnapshot
+from repro.llm.generation import GenerationLoop
+from repro.llm.model import ModelConfig, TransformerModel
+
+
+def _context(context_id, tokens, num_layers=1, num_kv_heads=1, head_dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    n = len(tokens)
+    keys = {l: rng.normal(size=(num_kv_heads, n, head_dim)).astype(np.float32) for l in range(num_layers)}
+    values = {l: rng.normal(size=(num_kv_heads, n, head_dim)).astype(np.float32) for l in range(num_layers)}
+    return StoredContext(context_id=context_id, snapshot=KVSnapshot(tokens=list(tokens), keys=keys, values=values))
+
+
+class TestTrieMatching:
+    def test_matches_linear_scan(self):
+        """The trie must agree with a brute-force scan on random stores."""
+        rng = np.random.default_rng(7)
+        store = ContextStore()
+        stored_tokens = {}
+        for i in range(12):
+            tokens = [int(t) for t in rng.integers(0, 5, size=rng.integers(3, 20))]
+            cid = f"ctx-{i}"
+            store.add(_context(cid, tokens, seed=i))
+            stored_tokens[cid] = tokens
+        for _ in range(50):
+            probe = [int(t) for t in rng.integers(0, 5, size=rng.integers(1, 25))]
+            match = store.find_longest_prefix(probe)
+            best = 0
+            for tokens in stored_tokens.values():
+                shared = 0
+                for a, b in zip(probe, tokens):
+                    if a != b:
+                        break
+                    shared += 1
+                best = max(best, shared)
+            assert match.prefix_length == best
+            if best > 0:
+                expected = stored_tokens[match.context.context_id]
+                assert probe[:best] == expected[:best]
+
+    def test_removed_context_no_longer_matches(self):
+        store = ContextStore()
+        store.add(_context("gone", [1, 2, 3, 4]))
+        assert store.find_longest_prefix([1, 2, 3]).is_hit
+        store.remove("gone")
+        assert not store.find_longest_prefix([1, 2, 3]).is_hit
+
+    def test_overwrite_updates_trie(self):
+        store = ContextStore()
+        store.add(_context("ctx", [1, 2, 3, 4]))
+        store.add(_context("ctx", [9, 8, 7], seed=1), overwrite=True)
+        assert not store.find_longest_prefix([1, 2, 3]).is_hit
+        match = store.find_longest_prefix([9, 8, 0])
+        assert match.prefix_length == 2
+        assert match.context.context_id == "ctx"
+
+    def test_shared_prefix_prefers_longest(self):
+        store = ContextStore()
+        store.add(_context("short", [5, 5, 5]))
+        store.add(_context("long", [5, 5, 5, 5, 5], seed=1))
+        match = store.find_longest_prefix([5] * 10)
+        assert match.prefix_length == 5
+        assert match.context.context_id == "long"
+
+
+class TestBudgetedResidency:
+    def test_budget_requires_storage_dir(self):
+        with pytest.raises(ValueError):
+            ContextStore(kv_budget_bytes=1024)
+
+    def test_config_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigError):
+            AlayaDBConfig(context_store_budget_bytes=0)
+
+    def test_lru_spill_and_reload_roundtrip(self, tmp_path):
+        context_a = _context("a", [1] * 32, seed=1)
+        budget = context_a.kv_bytes + context_a.kv_bytes // 2
+        store = ContextStore(storage_dir=tmp_path, kv_budget_bytes=budget)
+        original_keys = context_a.keys(0).copy()
+        store.add(context_a)
+        store.add(_context("b", [2] * 32, seed=2))
+        # budget fits ~1.5 contexts: the LRU one (a) spilled to disk
+        assert not store.get("a").is_resident
+        assert store.get("b").is_resident
+        assert store.spill_count == 1
+        assert (tmp_path / "a.npz").exists()
+        assert store.resident_kv_bytes <= budget
+        # tokens still matchable while spilled
+        assert store.find_longest_prefix([1, 1, 1]).context.context_id == "a"
+        # KV access without reload is an explicit error
+        with pytest.raises(ContextEvictedError):
+            store.get("a").keys(0)
+        # reload restores identical KV and evicts the now-cold "b"
+        reloaded = store.ensure_resident("a")
+        assert reloaded.is_resident
+        assert store.reload_count == 1
+        np.testing.assert_allclose(reloaded.keys(0), original_keys, atol=1e-7)
+        assert not store.get("b").is_resident
+
+    def test_pinned_context_not_spilled(self, tmp_path):
+        context_a = _context("a", [1] * 32, seed=1)
+        store = ContextStore(storage_dir=tmp_path, kv_budget_bytes=context_a.kv_bytes)
+        store.add(context_a)
+        store.pin("a")
+        store.add(_context("b", [2] * 32, seed=2))
+        # "a" is pinned, "b" is protected as the incoming context: over budget
+        assert store.get("a").is_resident
+        assert store.get("b").is_resident
+        # releasing the pin lets the budget be enforced again
+        store.unpin("a")
+        assert not store.get("a").is_resident
+
+    def test_explicit_spill_refuses_pinned_context(self, tmp_path):
+        store = ContextStore(storage_dir=tmp_path)
+        store.add(_context("live", [1, 2, 3]))
+        store.pin("live")
+        with pytest.raises(ValueError):
+            store.spill("live")
+        store.unpin("live")
+        store.spill("live")
+        assert not store.get("live").is_resident
+
+    def test_reload_respects_index_opt_out(self, tmp_path):
+        """A context imported without fine indexes stays index-free across
+        a spill/reload cycle (no surprise rebuild)."""
+        config = AlayaDBConfig(context_store_budget_bytes=1)
+        db = DB(config, storage_dir=tmp_path)
+        snapshot_a = _context("plain", [1] * 24, seed=3).snapshot
+        db.import_context([1] * 24, snapshot_a, context_id="plain", build_fine_indexes=False)
+        snapshot_b = _context("other", [2] * 24, seed=4).snapshot
+        db.import_context([2] * 24, snapshot_b, context_id="other", build_fine_indexes=False)
+        assert not db.get_context("plain").is_resident  # spilled by the budget
+        db.store_registry.ensure_resident("plain")
+        assert db.num_pending_index_builds == 0
+        assert db.build_pending() == 0
+        assert not db.get_context("plain").has_fine_indexes
+
+    def test_remove_spilled_context(self, tmp_path):
+        store = ContextStore(storage_dir=tmp_path, kv_budget_bytes=1)
+        store.add(_context("a", [1, 2, 3]))
+        store.add(_context("b", [4, 5, 6], seed=1))
+        assert not store.get("a").is_resident
+        store.remove("a")
+        assert "a" not in store
+        assert not store.find_longest_prefix([1, 2]).is_hit
+
+
+class TestDBBudgetIntegration:
+    @pytest.fixture(scope="class")
+    def budgeted(self, tmp_path_factory):
+        model = TransformerModel(ModelConfig.tiny(seed=71))
+        probe_db = DB(AlayaDBConfig())
+        document_a = "first corpus about transactions and recovery. " * 20
+        context = probe_db.prefill_and_import(model, document_a, context_id="probe")
+        budget = int(context.kv_bytes * 1.5)
+        config = AlayaDBConfig(
+            window_initial_tokens=8,
+            window_last_tokens=16,
+            short_context_threshold=64,
+            gpu_memory_budget_bytes=1,
+            max_retrieved_tokens=64,
+            context_store_budget_bytes=budget,
+        )
+        db = DB(config, storage_dir=tmp_path_factory.mktemp("spill"))
+        document_b = "second corpus about vector search indexes!! " * 20
+        db.prefill_and_import(model, document_a, context_id="a")
+        db.prefill_and_import(model, document_b, context_id="b")
+        return model, db, document_a, document_b
+
+    def test_ingest_beyond_budget_spills(self, budgeted):
+        _, db, _, _ = budgeted
+        store = db.store_registry
+        assert store.spill_count >= 1
+        assert store.resident_kv_bytes <= db.config.context_store_budget_bytes
+
+    def test_prefix_hit_reloads_and_generates(self, budgeted):
+        model, db, document_a, _ = budgeted
+        reloads_before = db.store_registry.reload_count
+        session, truncated = db.create_session(document_a + " question?")
+        assert session.is_connected
+        assert session.context.is_resident
+        loop = GenerationLoop(model)
+        result = loop.run_tokens(truncated, cache=session, max_new_tokens=2)
+        session.close()
+        assert result.num_generated == 2
+        # "a" was the cold context after "b" was ingested, so this was a reload
+        assert db.store_registry.reload_count > reloads_before
+
+    def test_buffer_stats_track_residency(self, budgeted):
+        _, db, document_a, _ = budgeted
+        db.create_session(document_a + " again")[0].close()
+        stats = db.buffer_stats
+        assert stats.misses > 0  # ingests and reloads populate the pool
+        assert stats.num_accesses == stats.hits + stats.misses

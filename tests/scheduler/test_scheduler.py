@@ -1,0 +1,282 @@
+"""Tests of the request scheduler: policies, admission control, step loop,
+and the InferenceService serving path built on top of them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlayaDBConfig
+from repro.core.service import InferenceService
+from repro.errors import AdmissionRejectedError
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.scheduler import (
+    AdmissionController,
+    AdmissionDecision,
+    FCFSPolicy,
+    InFlightRequest,
+    Request,
+    RequestScheduler,
+    RequestState,
+    SLOAwarePolicy,
+    make_policy,
+)
+from repro.simulator.slo import BATCH_SLO, INTERACTIVE_SLO, SLO
+
+
+class FakeBackend:
+    """A model-free backend: prefill consumes chunks, decode emits token 1."""
+
+    def __init__(self, chunk_tokens=4, bytes_per_request=100):
+        self.chunk_tokens = chunk_tokens
+        self.bytes_per_request = bytes_per_request
+        self.begun: list[int] = []
+        self.finished: list[int] = []
+        self.rejected: list[int] = []
+        self.between_steps_calls = 0
+
+    def estimate_request_bytes(self, request):
+        return self.bytes_per_request
+
+    def begin_request(self, request):
+        self.begun.append(request.request_id)
+        return InFlightRequest(
+            request=request, session=None, pending_tokens=list(request.prompt_tokens)
+        )
+
+    def prefill_chunk(self, inflight):
+        del inflight.pending_tokens[: self.chunk_tokens]
+        if not inflight.pending_tokens:
+            inflight.generated.append(1)
+
+    def decode_step(self, inflight):
+        inflight.generated.append(1)
+
+    def finish_request(self, inflight):
+        self.finished.append(inflight.request.request_id)
+
+    def reject_request(self, request):
+        self.rejected.append(request.request_id)
+
+    def between_steps(self):
+        self.between_steps_calls += 1
+
+
+def _request(request_id, num_tokens=4, **kwargs):
+    return Request(request_id=request_id, prompt_tokens=list(range(num_tokens)), **kwargs)
+
+
+class TestPolicies:
+    def test_make_policy(self):
+        assert isinstance(make_policy("fcfs"), FCFSPolicy)
+        assert isinstance(make_policy("slo"), SLOAwarePolicy)
+        with pytest.raises(ValueError):
+            make_policy("round-robin")
+
+    def test_fcfs_selects_head(self):
+        queue = [_request(1), _request(2)]
+        assert FCFSPolicy().select(queue, now=0.0) == 0
+
+    def test_slo_aware_prefers_tight_deadline(self):
+        batch = _request(1, slo=BATCH_SLO)
+        interactive = _request(2, slo=INTERACTIVE_SLO)
+        for r in (batch, interactive):
+            r.submitted_at = 0.0
+        assert SLOAwarePolicy().select([batch, interactive], now=0.1) == 1
+
+    def test_slo_aware_priority_dominates_slack(self):
+        urgent_deadline = _request(1, slo=SLO(ttft_seconds=0.01))
+        prioritized = _request(2, priority=5)
+        for r in (urgent_deadline, prioritized):
+            r.submitted_at = 0.0
+        assert SLOAwarePolicy().select([urgent_deadline, prioritized], now=0.1) == 1
+
+    def test_slo_aware_falls_back_to_arrival(self):
+        first = _request(1)
+        second = _request(2)
+        first.arrival_order, second.arrival_order = 0, 1
+        assert SLOAwarePolicy().select([second, first], now=0.0) == 1
+
+
+class TestAdmissionController:
+    def test_unbounded_always_admits(self):
+        controller = AdmissionController(budget_bytes=None)
+        assert controller.try_admit(10**12) == AdmissionDecision.ADMIT
+
+    def test_oversized_request_rejected(self):
+        controller = AdmissionController(budget_bytes=100)
+        assert controller.try_admit(101) == AdmissionDecision.REJECT
+        assert controller.committed_bytes == 0
+
+    def test_defer_until_release(self):
+        controller = AdmissionController(budget_bytes=100)
+        assert controller.try_admit(60) == AdmissionDecision.ADMIT
+        assert controller.try_admit(60) == AdmissionDecision.DEFER
+        controller.release(60)
+        assert controller.try_admit(60) == AdmissionDecision.ADMIT
+        assert controller.stats.deferral_attempts == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            AdmissionController(budget_bytes=0)
+
+
+class TestRequestScheduler:
+    def test_fcfs_runs_in_arrival_order(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, max_inflight=1)
+        for i in (1, 2, 3):
+            scheduler.submit(_request(i))
+        scheduler.drain()
+        assert backend.begun == [1, 2, 3]
+        assert backend.finished == [1, 2, 3]
+
+    def test_holds_four_inflight(self):
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = RequestScheduler(backend, max_inflight=4)
+        for i in range(6):
+            scheduler.submit(_request(i + 1, num_tokens=8))
+        scheduler.step()
+        assert scheduler.num_inflight == 4
+        assert scheduler.queue_depth == 2
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 2, 3, 4, 5, 6]
+
+    def test_interleaves_prefill_and_decode(self):
+        """A short request finishes while a long prefill is still in flight."""
+        backend = FakeBackend(chunk_tokens=2)
+        scheduler = RequestScheduler(backend, max_inflight=2)
+        scheduler.submit(_request(1, num_tokens=40, max_new_tokens=1))
+        scheduler.submit(_request(2, num_tokens=2, max_new_tokens=1))
+        scheduler.drain()
+        assert backend.finished[0] == 2
+        assert backend.finished[-1] == 1
+        assert scheduler.stats.prefill_chunks > scheduler.stats.decode_steps
+
+    def test_admission_rejection_and_deferral(self):
+        backend = FakeBackend()
+        backend.bytes_per_request = 80
+        scheduler = RequestScheduler(
+            backend, admission=AdmissionController(budget_bytes=100), max_inflight=4
+        )
+        requests = [_request(i + 1, max_new_tokens=2) for i in range(3)]
+        for request in requests:
+            scheduler.submit(request)
+        scheduler.step()
+        # only one 80-byte request fits the 100-byte budget at a time
+        assert scheduler.num_inflight == 1
+        assert scheduler.stats.deferrals >= 1
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 2, 3]
+        assert backend.rejected == []
+
+        backend.bytes_per_request = 101  # can never fit
+        rejected = _request(9)
+        scheduler.submit(rejected)
+        scheduler.drain()
+        assert backend.rejected == [9]
+        assert rejected.state == RequestState.REJECTED
+
+    def test_deferrals_count_unique_requests(self):
+        """A request re-tried every step counts as one deferral, not many."""
+        backend = FakeBackend()
+        backend.bytes_per_request = 80
+        scheduler = RequestScheduler(
+            backend, admission=AdmissionController(budget_bytes=100), max_inflight=4
+        )
+        scheduler.submit(_request(1, num_tokens=40, max_new_tokens=1))  # long-running
+        scheduler.submit(_request(2, max_new_tokens=1))  # waits on budget
+        waiting = scheduler.queued_requests()[-1]
+        for _ in range(5):
+            scheduler.step()
+        assert waiting.state == RequestState.DEFERRED
+        assert scheduler.stats.deferrals == 1
+        assert scheduler.admission.stats.deferral_attempts >= 5
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 2]
+
+    def test_between_steps_drains_when_enabled(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, drain_index_builds=True)
+        scheduler.submit(_request(1, max_new_tokens=1))
+        scheduler.drain()
+        assert backend.between_steps_calls > 0
+
+        quiet = FakeBackend()
+        RequestScheduler(quiet, drain_index_builds=False).step()
+        assert quiet.between_steps_calls == 0
+
+    def test_request_states_progress(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend)
+        request = _request(1, max_new_tokens=1)
+        scheduler.submit(request)
+        assert request.state == RequestState.QUEUED
+        scheduler.drain()
+        assert request.state == RequestState.FINISHED
+
+
+@pytest.fixture(scope="module")
+def concurrent_service():
+    model = TransformerModel(ModelConfig.tiny(seed=53))
+    config = AlayaDBConfig(
+        window_initial_tokens=8,
+        window_last_tokens=16,
+        short_context_threshold=64,
+        gpu_memory_budget_bytes=1,
+        max_retrieved_tokens=64,
+        max_inflight_requests=4,
+        prefill_chunk_tokens=64,
+    )
+    service = InferenceService(model, config)
+    service.ingest("a reference corpus about scheduling policies. " * 20, context_id="doc")
+    return service
+
+
+class TestServiceScheduling:
+    def test_submit_step_drain(self, concurrent_service):
+        service = concurrent_service
+        document = service.db.get_context("doc")
+        prompt = service.db.tokenizer.decode(document.tokens) + " tell me more"
+        ids = [service.submit(prompt, max_new_tokens=2) for _ in range(5)]
+        service.step()
+        assert service.scheduler.num_inflight == 4  # the fifth waits its turn
+        service.drain()
+        for request_id in ids:
+            result, record = service.result(request_id)
+            assert result.num_generated == 2
+            assert record.reused_tokens > 0
+
+    def test_serve_wrapper_still_works(self, concurrent_service):
+        result, record = concurrent_service.serve("an unrelated question", max_new_tokens=2)
+        assert result.num_generated == 2
+        assert record.reused_tokens == 0
+        assert concurrent_service.result(record.request_id) is not None
+
+    def test_chunked_prefill_matches_unchunked_generation(self):
+        """Splitting prefill into chunks must not change greedy decode output."""
+        model = TransformerModel(ModelConfig.tiny(seed=59))
+        prompt = "the quick brown fox jumps over the lazy dog. " * 4
+        outputs = []
+        for chunk in (8, 10_000):
+            config = AlayaDBConfig(prefill_chunk_tokens=chunk)
+            service = InferenceService(model, config)
+            result, _ = service.serve(prompt, max_new_tokens=4)
+            outputs.append(result.generated_tokens)
+        assert outputs[0] == outputs[1]
+
+    def test_admission_rejection_surfaces(self):
+        model = TransformerModel(ModelConfig.tiny(seed=61))
+        config = AlayaDBConfig(scheduler_gpu_budget_bytes=8)  # nothing fits
+        service = InferenceService(model, config)
+        with pytest.raises(AdmissionRejectedError):
+            service.serve("far too large for the budget", max_new_tokens=2)
+        assert service.stats.rejected == 1
+
+    def test_slo_policy_orders_admission(self):
+        model = TransformerModel(ModelConfig.tiny(seed=67))
+        config = AlayaDBConfig(scheduler_policy="slo", max_inflight_requests=1)
+        service = InferenceService(model, config)
+        service.submit("batch style request", max_new_tokens=1, slo=BATCH_SLO)
+        urgent = service.submit("urgent request", max_new_tokens=1, slo=INTERACTIVE_SLO)
+        finished = service.drain()
+        assert finished[0][1].request_id == urgent

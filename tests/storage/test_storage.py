@@ -189,6 +189,67 @@ class TestBufferManager:
             pool.put(_data_block(number=i))
             assert pool.used_bytes <= pool.capacity_bytes
 
+    def test_used_bytes_counter_matches_frames(self):
+        """The maintained counter agrees with a recount after every operation."""
+        block_bytes = _data_block().nbytes
+        pool = BufferManager(capacity_bytes=block_bytes * 4 + 1)
+
+        def recount():
+            return sum(frame.nbytes for frame in pool._frames.values())
+
+        for i in range(6):  # wraps: forces evictions
+            pool.put(_data_block(number=i))
+            assert pool.used_bytes == recount()
+        pool.put(_data_block(number=3))  # replacement of a resident block
+        assert pool.used_bytes == recount()
+        assert pool.remove(BlockId("file", 3))
+        assert not pool.remove(BlockId("file", 3))
+        assert pool.used_bytes == recount()
+        pool.clear()
+        assert pool.used_bytes == 0
+
+    def test_concurrent_misses_load_once(self):
+        """Two threads missing the same block must run the loader only once."""
+        pool = BufferManager(capacity_bytes=10**6)
+        load_count = 0
+        barrier = threading.Barrier(2)
+        results = []
+
+        def loader():
+            nonlocal load_count
+            load_count += 1
+            import time
+
+            time.sleep(0.05)  # widen the race window
+            return _data_block(number=42)
+
+        def worker():
+            barrier.wait()
+            results.append(pool.get(BlockId("file", 42), loader=loader))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert load_count == 1
+        assert len(results) == 2
+        assert results[0] is results[1]
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+
+    def test_failed_loader_releases_inflight_slot(self):
+        pool = BufferManager(capacity_bytes=10**6)
+
+        def broken():
+            raise RuntimeError("backing storage offline")
+
+        with pytest.raises(RuntimeError):
+            pool.get(BlockId("file", 7), loader=broken)
+        # the failure did not wedge the single-flight slot: a retry succeeds
+        block = pool.get(BlockId("file", 7), loader=lambda: _data_block(number=7))
+        assert block.block_id == BlockId("file", 7)
+
 
 class TestVectorFileSystem:
     def test_store_and_gather(self, tmp_path):
