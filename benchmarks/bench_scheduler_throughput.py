@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.common import emit, run_once
+from benchmarks.common import emit, run_once, smoke_mode
 from repro.analysis.reporting import format_table
 from repro.core.config import AlayaDBConfig
 from repro.core.service import InferenceService
@@ -31,10 +31,11 @@ from repro.llm.model import ModelConfig, TransformerModel
 
 EXPERIMENT = "Scheduler throughput (scheduled concurrent serving vs sequential)"
 
-NUM_DOCUMENTS = 8
+SMOKE = smoke_mode()  # BENCH_SMOKE=1: shrink the library for a quick CI run
+NUM_DOCUMENTS = 4 if SMOKE else 8
 QUERIED_DOCUMENTS = (0, 1)  # the rest of the library is ingested but never queried
-NUM_REQUESTS = 8
-MAX_NEW_TOKENS = 3
+NUM_REQUESTS = 4 if SMOKE else 8
+MAX_NEW_TOKENS = 2 if SMOKE else 3
 
 BASE_CONFIG = dict(
     window_initial_tokens=8,
@@ -164,7 +165,7 @@ def test_scheduler_throughput(benchmark, tmp_path):
         format_table(
             ["mode", "ingest (s)", "serve (s)", "tok/s", "inflight", "builds skipped", "SLO"],
             rows,
-            title="--- end-to-end serving throughput (8 docs, 8 requests) ---",
+            title=f"--- end-to-end serving throughput ({NUM_DOCUMENTS} docs, {NUM_REQUESTS} requests) ---",
         ),
         "",
         f"scheduled/lazy speedup over sequential/eager: {speedup:.2f}x "
@@ -181,7 +182,9 @@ def test_scheduler_throughput(benchmark, tmp_path):
     emit(EXPERIMENT, "\n".join(lines))
 
     # scheduled serving beats the sequential loop on total tokens/sec
-    assert scheduled["tokens_per_second"] > sequential["tokens_per_second"]
+    # (wall-clock comparison skipped in smoke mode: noisy CI runners)
+    if not SMOKE:
+        assert scheduled["tokens_per_second"] > sequential["tokens_per_second"]
     # it held 4 requests in flight and still met the decode SLO
     assert scheduled["peak_inflight"] >= 4
     assert scheduled["meets_slo"]

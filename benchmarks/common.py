@@ -8,9 +8,16 @@ Every harness regenerates one table or figure of the paper.  Results are
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def smoke_mode() -> bool:
+    """True when ``BENCH_SMOKE=1``: harnesses shrink their workloads (and relax
+    perf-ratio assertions) so CI can sanity-run them in seconds."""
+    return os.environ.get("BENCH_SMOKE", "").lower() in ("1", "true", "yes")
 
 #: lines queued for the pytest terminal summary (see benchmarks/conftest.py)
 SUMMARY_LINES: list[str] = []

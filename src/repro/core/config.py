@@ -81,6 +81,22 @@ class AlayaDBConfig:
     """Admission order: ``"fcfs"`` (arrival order) or ``"slo"`` (least TTFT
     slack first, then priority)."""
 
+    decode_batching: bool = True
+    """Serve all decode-ready in-flight requests with one batched forward
+    pass per step (shared embedding/projection/MLP/LM-head matmuls) instead
+    of one model call per request."""
+
+    preemption: bool = False
+    """Under the ``"slo"`` policy: when a queued request's TTFT slack goes
+    critical and every in-flight slot is taken, pause the in-flight request
+    with the most slack (releasing its memory reservation and unpinning its
+    stored context so the context store may spill it) and resume it when a
+    slot frees."""
+
+    preemption_slack_seconds: float = 0.5
+    """A queued request is considered critical once its TTFT slack drops to
+    this many seconds (or below)."""
+
     scheduler_gpu_budget_bytes: int | None = None
     """Global GPU-memory budget admission control enforces across all
     in-flight requests; ``None`` disables admission control."""
@@ -115,6 +131,16 @@ class AlayaDBConfig:
         if self.scheduler_policy not in ("fcfs", "slo"):
             raise ConfigError(
                 f"scheduler_policy must be 'fcfs' or 'slo', got {self.scheduler_policy!r}"
+            )
+        if self.preemption and self.scheduler_policy != "slo":
+            raise ConfigError(
+                "preemption requires scheduler_policy='slo' (FCFS defines no "
+                "TTFT slack to preempt on)"
+            )
+        if self.preemption_slack_seconds < 0:
+            raise ConfigError(
+                f"preemption_slack_seconds must be non-negative, "
+                f"got {self.preemption_slack_seconds}"
             )
         if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
             raise ConfigError("context_store_budget_bytes must be positive when set")

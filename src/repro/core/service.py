@@ -6,9 +6,14 @@ module provides that serving stack on top of :class:`~repro.core.db.DB`:
 
 * ``submit()`` enqueues a request (with optional priority / SLO class);
 * ``step()`` runs one scheduler round: admission control against a global
-  GPU-memory budget, then one unit of work — a prefill chunk or a decode
-  step — for every in-flight request, so long prefills interleave with other
-  requests' decodes;
+  GPU-memory budget, then one unit of work per in-flight request — a prefill
+  chunk, or one decode token with **all decode-ready requests batched into a
+  single forward pass** (``decode_batching``), so long prefills interleave
+  with other requests' decodes and decode cost is amortised across the batch;
+* under the ``slo`` policy with ``preemption`` enabled, an SLO-critical
+  arrival that finds every slot taken pauses the in-flight request with the
+  most TTFT slack (its reservation released, its stored context spillable)
+  until a slot frees;
 * ``drain()`` steps until everything submitted has finished;
 * ``serve()`` remains the one-request convenience wrapper (submit + drain).
 
@@ -24,10 +29,11 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from ..errors import AdmissionRejectedError
+from ..errors import AdmissionRejectedError, RequestFailedError
 from ..llm.generation import GenerationLoop, GenerationResult
 from ..llm.model import TransformerModel
 from ..llm.sampling import sample_token
@@ -57,10 +63,15 @@ class RequestRecord:
     reused_tokens: int
     generated_tokens: int
     ttft_seconds: float
+    """Wall-clock first-token latency: admission → first sampled token,
+    including time parked between interleaved prefill chunks."""
     tpot_seconds: float
     modeled_tpot_seconds: float
     gpu_resident_bytes: int
+    prefill_compute_seconds: float = 0.0
+    """Prefill compute only (the old TTFT figure); excludes parked time."""
     queue_seconds: float = 0.0
+    preemptions: int = 0
     stored_context_id: str | None = None
 
     @property
@@ -74,6 +85,8 @@ class ServiceStats:
 
     records: list[RequestRecord] = field(default_factory=list)
     rejected: int = 0
+    failed: int = 0
+    """Requests whose session setup raised (queryable via ``result()``)."""
     buffer: BufferStats | None = None
     """Live view of the DB's context-residency pool counters."""
 
@@ -142,8 +155,12 @@ class InferenceService:
             admission=AdmissionController(self.config.scheduler_gpu_budget_bytes),
             max_inflight=self.config.max_inflight_requests,
             drain_index_builds=self.config.scheduler_drain_index_builds,
+            decode_batching=self.config.decode_batching,
+            preemption=self.config.preemption,
+            preemption_slack_seconds=self.config.preemption_slack_seconds,
         )
         self._results: OrderedDict[int, tuple[GenerationResult, RequestRecord]] = OrderedDict()
+        self._failures: OrderedDict[int, str] = OrderedDict()
         self._request_counter = 0
 
     # ------------------------------------------------------------------
@@ -200,7 +217,17 @@ class InferenceService:
         ]
 
     def result(self, request_id: int) -> tuple[GenerationResult, RequestRecord] | None:
-        """The outcome of a finished request (None while pending or rejected)."""
+        """The outcome of a finished request (None while pending or rejected).
+
+        Raises :class:`RequestFailedError` when the request's session setup
+        raised mid-round (state FAILED) — the original error is in the
+        message.
+        """
+        if request_id in self._failures:
+            raise RequestFailedError(
+                f"request {request_id} failed during session setup: "
+                f"{self._failures[request_id]}"
+            )
         return self._results.get(request_id)
 
     def serve(
@@ -214,7 +241,7 @@ class InferenceService:
             prompt, max_new_tokens=max_new_tokens, gpu_memory_budget_bytes=gpu_memory_budget_bytes
         )
         self.drain()
-        outcome = self._results.get(request_id)
+        outcome = self.result(request_id)
         if outcome is None:
             raise AdmissionRejectedError(
                 f"request {request_id} was rejected by admission control "
@@ -260,7 +287,14 @@ class InferenceService:
         logits, _ = self.model.prefill(np.asarray(chunk, dtype=np.int64), inflight.session)
         inflight.prefill_seconds += time.perf_counter() - start
         if not inflight.pending_tokens:
-            self._append_token(inflight, sample_token(logits, self.loop.sampling, inflight.rng))
+            if inflight.request.max_new_tokens > 0:
+                self._append_token(
+                    inflight, sample_token(logits, self.loop.sampling, inflight.rng)
+                )
+            else:
+                # zero tokens requested: the request is served by prefill
+                # alone; its first-token latency is the prefill completion
+                inflight.first_token_seconds = time.monotonic() - inflight.admitted_at
 
     def decode_step(self, inflight: InFlightRequest) -> None:
         start = time.perf_counter()
@@ -268,23 +302,49 @@ class InferenceService:
         inflight.decode_seconds.append(time.perf_counter() - start)
         self._append_token(inflight, sample_token(logits, self.loop.sampling, inflight.rng))
 
+    def decode_batch(self, inflights: Sequence[InFlightRequest]) -> None:
+        """One batched forward pass over every decode-ready request.
+
+        The shared dense work (embedding, projections, MLP, LM head) runs
+        once over the stacked batch; each request's attention and KV append
+        go through its own session.  The wall time is split evenly across
+        the batch for per-request TPOT accounting.
+        """
+        start = time.perf_counter()
+        logits = self.model.decode_batch(
+            [fl.generated[-1] for fl in inflights], [fl.session for fl in inflights]
+        )
+        per_request = (time.perf_counter() - start) / len(inflights)
+        for inflight, row in zip(inflights, logits):
+            inflight.decode_seconds.append(per_request)
+            self._append_token(inflight, sample_token(row, self.loop.sampling, inflight.rng))
+
     def _append_token(self, inflight: InFlightRequest, token: int) -> None:
+        if inflight.first_token_seconds is None:
+            inflight.first_token_seconds = time.monotonic() - inflight.admitted_at
         inflight.generated.append(token)
         if token == self.loop.tokenizer.eos_id:
             inflight.finished_by_eos = True
 
     def finish_request(self, inflight: InFlightRequest) -> None:
         request = inflight.request
+        ttft = (
+            inflight.first_token_seconds
+            if inflight.first_token_seconds is not None
+            else inflight.prefill_seconds
+        )
         result = GenerationResult(
             prompt_tokens=inflight.truncated_tokens,
             generated_tokens=inflight.generated,
             text=self.loop.tokenizer.decode(inflight.generated),
-            ttft_seconds=inflight.prefill_seconds,
+            ttft_seconds=ttft,
             decode_seconds=inflight.decode_seconds,
             finished_by_eos=inflight.finished_by_eos,
         )
         record = self._record(request.request_id, request.prompt_tokens, inflight.session, result)
+        record.prefill_compute_seconds = inflight.prefill_seconds
         record.queue_seconds = inflight.queue_seconds
+        record.preemptions = inflight.preemptions
         if self.store_conversations:
             stored = self.db.store(inflight.session, context_id=f"conversation-{request.request_id:04d}")
             record.stored_context_id = stored.context_id
@@ -296,6 +356,34 @@ class InferenceService:
 
     def reject_request(self, request: Request) -> None:
         self.stats.rejected += 1
+
+    def fail_request(self, request: Request, error: Exception) -> None:
+        """Record a mid-round session-setup failure for ``result()`` lookup."""
+        self.stats.failed += 1
+        # the scheduler already formatted the error onto the request
+        self._failures[request.request_id] = request.error or repr(error)
+        while len(self._failures) > self.MAX_RETAINED_RESULTS:
+            self._failures.popitem(last=False)
+
+    def preempted_request_bytes(self, inflight: InFlightRequest) -> int:
+        """GPU bytes a paused request keeps resident: its session's window
+        and locally appended KV survive preemption (only the stored context
+        becomes spillable), so that slice of the reservation is not released."""
+        return inflight.session.gpu_memory_bytes()
+
+    def preempt_request(self, inflight: InFlightRequest) -> None:
+        """Unpin the paused session's stored context so the store may spill it."""
+        session = inflight.session
+        if session.context is not None:
+            self.db.store_registry.unpin(session.context.context_id)
+
+    def resume_request(self, inflight: InFlightRequest) -> None:
+        """Re-pin (reloading if spilled) the resumed session's stored context."""
+        session = inflight.session
+        if session.context is not None:
+            self.db.store_registry.ensure_resident(session.context.context_id)
+            self.db.store_registry.pin(session.context.context_id)
+            session.invalidate_context_caches()
 
     def between_steps(self) -> None:
         """Slack work between scheduler steps: drain one deferred index build."""

@@ -119,6 +119,15 @@ class Session:
         if self._closed:
             raise SessionClosedError("this session has been closed")
 
+    def invalidate_context_caches(self) -> None:
+        """Drop cached references into the stored context's KV arrays.
+
+        Called when a preempted request resumes: its context may have been
+        spilled and reloaded in between, replacing the snapshot's arrays, and
+        the per-layer index data must be rebuilt against the fresh ones.
+        """
+        self._layer_data.clear()
+
     @property
     def is_connected(self) -> bool:
         """True when the session reuses a stored context."""

@@ -42,6 +42,11 @@ class AdmissionRejectedError(DatabaseError):
     configured GPU memory budget)."""
 
 
+class RequestFailedError(DatabaseError):
+    """A scheduled request failed during session setup (``begin_request``
+    raised); the original error message is carried in ``args[0]``."""
+
+
 class QueryError(ReproError):
     """Base class for query-processing errors."""
 

@@ -69,7 +69,13 @@ class GenerationLoop:
         max_new_tokens: int = 16,
         stop_on_eos: bool = True,
     ) -> GenerationResult:
-        """Generate from a pre-tokenised prompt."""
+        """Generate from a pre-tokenised prompt.
+
+        ``max_new_tokens=0`` runs the prefill (filling ``cache``) but samples
+        nothing; negative values are rejected.
+        """
+        if max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be non-negative, got {max_new_tokens}")
         prompt_tokens = [int(t) for t in prompt_tokens]
         cache = cache if cache is not None else DynamicCache()
         rng = self.sampling.make_rng()
@@ -84,19 +90,20 @@ class GenerationLoop:
         generated: list[int] = []
         decode_times: list[float] = []
         finished_by_eos = False
-        next_token = sample_token(last_logits, self.sampling, rng)
-        generated.append(next_token)
-        for _ in range(max_new_tokens - 1):
-            if stop_on_eos and next_token == self.tokenizer.eos_id:
-                finished_by_eos = True
-                break
-            step_start = time.perf_counter()
-            logits = self.model.decode_step(next_token, cache)
-            decode_times.append(time.perf_counter() - step_start)
-            next_token = sample_token(logits, self.sampling, rng)
+        if max_new_tokens > 0:
+            next_token = sample_token(last_logits, self.sampling, rng)
             generated.append(next_token)
-        if stop_on_eos and generated and generated[-1] == self.tokenizer.eos_id:
-            finished_by_eos = True
+            for _ in range(max_new_tokens - 1):
+                if stop_on_eos and next_token == self.tokenizer.eos_id:
+                    finished_by_eos = True
+                    break
+                step_start = time.perf_counter()
+                logits = self.model.decode_step(next_token, cache)
+                decode_times.append(time.perf_counter() - step_start)
+                next_token = sample_token(logits, self.sampling, rng)
+                generated.append(next_token)
+            if stop_on_eos and generated[-1] == self.tokenizer.eos_id:
+                finished_by_eos = True
 
         text = self.tokenizer.decode(generated)
         return GenerationResult(

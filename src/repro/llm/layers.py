@@ -77,7 +77,11 @@ class RMSNorm:
 
 
 def _silu(x: np.ndarray) -> np.ndarray:
-    return x / (1.0 + np.exp(-x))
+    # piecewise form keeps exp() arguments non-positive so large-magnitude
+    # activations (which batched decode stacks into one matmul) never overflow
+    positive = x >= 0
+    exp_neg = np.exp(np.where(positive, -x, x))
+    return np.where(positive, x / (1.0 + exp_neg), x * exp_neg / (1.0 + exp_neg))
 
 
 class SwiGLU:

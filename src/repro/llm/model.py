@@ -169,6 +169,45 @@ class TransformerLayer:
         hidden = hidden + self.mlp(self.post_attention_norm(hidden))
         return hidden
 
+    def forward_batch(
+        self,
+        hidden: np.ndarray,
+        caches: list[KVCacheProtocol],
+        rope: RotaryEmbedding,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Run the block over one token from each of ``len(caches)`` requests.
+
+        ``hidden``: ``(batch, dim)``, one row per request; ``positions``: the
+        per-request cache position of that token.  The dense work (norms,
+        Q/K/V/O projections, MLP) runs as single stacked matmuls across the
+        batch; attention and KV appends route through each request's own
+        cache, which keeps per-request state (sparse plans, stored prefixes,
+        window caches) untouched.
+        """
+        config = self.config
+        batch, head_dim = hidden.shape[0], config.head_dim
+        normed = self.input_norm(hidden)
+        # the batch rides project_qkv's seq axis, so rope rotates request i
+        # by its own cache position positions[i]
+        q, k, v = self.project_qkv(normed, rope, positions)
+
+        attn_rows = np.empty((batch, config.num_query_heads * head_dim), dtype=np.float32)
+        for i, cache in enumerate(caches):
+            qi = q[:, i : i + 1, :]
+            ki = k[:, i : i + 1, :]
+            vi = v[:, i : i + 1, :]
+            if hasattr(cache, "attention"):
+                cache.update_query(qi, ki, vi, self.layer_index)
+                attn = cache.attention(qi, self.layer_index)
+            else:
+                full_k, full_v = cache.update(ki, vi, self.layer_index)
+                attn = full_attention(qi, full_k, full_v, causal=True)
+            attn_rows[i] = attn[:, 0, :].reshape(-1)
+        hidden = hidden + self.o_proj(attn_rows)
+        hidden = hidden + self.mlp(self.post_attention_norm(hidden))
+        return hidden
+
     @property
     def num_parameters(self) -> int:
         return (
@@ -253,6 +292,36 @@ class TransformerModel:
         """Generate logits for a single new token appended to ``cache``."""
         logits = self.forward(np.asarray([token_id], dtype=np.int64), cache)
         return logits[-1]
+
+    def decode_batch(
+        self, token_ids: np.ndarray | list[int], caches: list[KVCacheProtocol]
+    ) -> np.ndarray:
+        """One decode step for several independent requests in one forward pass.
+
+        ``token_ids[i]`` is appended to ``caches[i]``.  The embedding, every
+        layer's projections and MLP, and the LM head run once over the stacked
+        ``(batch, dim)`` activations — the continuous-batching win when many
+        in-flight requests share the weights — while attention/KV-append go
+        through each request's own cache, so each request keeps its own
+        positions, stored prefix, and sparse plan.  Returns logits of shape
+        ``(batch, vocab_size)``; row ``i`` equals ``decode_step(token_ids[i],
+        caches[i])``.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ValueError(f"token_ids must be 1-D, got shape {token_ids.shape}")
+        if token_ids.shape[0] != len(caches):
+            raise ValueError(
+                f"got {token_ids.shape[0]} tokens for {len(caches)} caches"
+            )
+        if token_ids.shape[0] == 0:
+            return np.empty((0, self.config.vocab_size), dtype=np.float32)
+        positions = np.asarray([cache.sequence_length(0) for cache in caches], dtype=np.int64)
+        hidden = self.embedding(token_ids)
+        for layer in self.layers:
+            hidden = layer.forward_batch(hidden, caches, self.rope, positions)
+        hidden = self.final_norm(hidden)
+        return self.lm_head(hidden)
 
     # ------------------------------------------------------------------
     # introspection helpers

@@ -10,7 +10,10 @@ step-driven, memory-governed pipeline:
 * :class:`~repro.scheduler.admission.AdmissionController` — global
   GPU-memory admission control across all in-flight requests;
 * :class:`~repro.scheduler.scheduler.RequestScheduler` — the step loop that
-  interleaves chunked prefill and decode across in-flight sessions.
+  interleaves chunked prefill and decode across in-flight sessions, batching
+  all decode-ready requests into one shared forward pass (continuous
+  batching) and preempting slack-rich in-flight requests for SLO-critical
+  arrivals under the ``slo`` policy.
 
 The package is deliberately independent of :mod:`repro.core`: it drives any
 backend implementing the :class:`~repro.scheduler.scheduler.SchedulerBackend`

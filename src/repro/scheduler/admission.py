@@ -69,6 +69,21 @@ class AdmissionController:
         self.stats.admitted += 1
         return AdmissionDecision.ADMIT
 
+    def try_reserve_more(self, additional_bytes: int) -> bool:
+        """Grow an existing reservation (a preempted request resuming).
+
+        Not counted in :attr:`AdmissionStats.admitted` — the request was
+        admitted once already; this only re-takes the slice of its
+        reservation that preemption released.
+        """
+        if (
+            self.budget_bytes is not None
+            and self._committed_bytes + additional_bytes > self.budget_bytes
+        ):
+            return False
+        self._committed_bytes += additional_bytes
+        return True
+
     def release(self, reserved_bytes: int) -> None:
         """Return a finished request's reservation to the budget."""
         self._committed_bytes = max(0, self._committed_bytes - reserved_bytes)

@@ -1,11 +1,11 @@
-"""Admission-order policies for the request scheduler."""
+"""Admission-order and preemption policies for the request scheduler."""
 
 from __future__ import annotations
 
 import abc
 from typing import Sequence
 
-from .request import Request
+from .request import InFlightRequest, Request
 
 __all__ = ["SchedulerPolicy", "FCFSPolicy", "SLOAwarePolicy", "make_policy"]
 
@@ -18,6 +18,19 @@ class SchedulerPolicy(abc.ABC):
     @abc.abstractmethod
     def select(self, queue: Sequence[Request], now: float) -> int:
         """Index into ``queue`` of the request to try admitting next."""
+
+    def preemption_victim(
+        self,
+        inflights: Sequence[InFlightRequest],
+        critical: Request,
+        now: float,
+        slack_threshold: float,
+    ) -> int | None:
+        """Index of the in-flight request to pause for ``critical``, or None.
+
+        The base policy never preempts; deadline-aware policies override this.
+        """
+        return None
 
 
 class FCFSPolicy(SchedulerPolicy):
@@ -51,6 +64,30 @@ class SLOAwarePolicy(SchedulerPolicy):
             return (-request.priority, slack, request.arrival_order)
 
         return min(enumerate(queue), key=urgency)[0]
+
+    def preemption_victim(
+        self,
+        inflights: Sequence[InFlightRequest],
+        critical: Request,
+        now: float,
+        slack_threshold: float,
+    ) -> int | None:
+        """Pause the in-flight request with the most TTFT slack to spare.
+
+        A victim is only named when its own slack comfortably exceeds both
+        the critical request's slack and the criticality threshold — a
+        request with no TTFT deadline (infinite slack, e.g. a batch job)
+        always qualifies; one that is itself near its deadline never does.
+        """
+        if not inflights:
+            return None
+        index, victim = max(
+            enumerate(inflights), key=lambda iv: iv[1].request.ttft_slack(now)
+        )
+        victim_slack = victim.request.ttft_slack(now)
+        if victim_slack <= max(critical.ttft_slack(now), slack_threshold):
+            return None
+        return index
 
 
 def make_policy(name: str) -> SchedulerPolicy:

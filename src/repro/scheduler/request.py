@@ -12,14 +12,20 @@ __all__ = ["RequestState", "Request", "InFlightRequest"]
 
 
 class RequestState:
-    """Lifecycle of a request: queued → running → finished (or rejected)."""
+    """Lifecycle of a request: queued → running → finished (or rejected/failed),
+    possibly bouncing through preempted ⇄ running along the way."""
 
     QUEUED = "queued"
     DEFERRED = "deferred"
     """Still queued, but at least one admission attempt found no free budget."""
     RUNNING = "running"
+    PREEMPTED = "preempted"
+    """Paused mid-flight to free a slot for an SLO-critical arrival; resumes
+    when a slot (and its memory reservation) frees up again."""
     FINISHED = "finished"
     REJECTED = "rejected"
+    FAILED = "failed"
+    """Session setup raised; the error is recorded on ``Request.error``."""
 
 
 @dataclass
@@ -38,6 +44,14 @@ class Request:
     submitted_at: float = 0.0
     arrival_order: int = 0
     state: str = RequestState.QUEUED
+    error: str | None = None
+    """Why the request FAILED (``begin_request`` raised); ``None`` otherwise."""
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 0:
+            raise ValueError(
+                f"max_new_tokens must be non-negative, got {self.max_new_tokens}"
+            )
 
     @property
     def num_prompt_tokens(self) -> int:
@@ -69,10 +83,24 @@ class InFlightRequest:
     truncated_tokens: list[int] = field(default_factory=list)
     """The original non-reused prompt suffix (for result reporting)."""
     reserved_bytes: int = 0
+    """Bytes currently reserved with admission control; while preempted this
+    drops to the session's still-resident footprint (see
+    ``SchedulerBackend.preempted_request_bytes``), not necessarily 0."""
+    estimated_bytes: int = 0
+    """The original admission estimate, re-reserved when a preempted request
+    resumes."""
     generated: list[int] = field(default_factory=list)
     decode_seconds: list[float] = field(default_factory=list)
     prefill_seconds: float = 0.0
+    """Compute-only prefill time (excludes time parked between chunks)."""
     queue_seconds: float = 0.0
+    admitted_at: float = 0.0
+    """``time.monotonic()`` when the request was admitted; wall-clock TTFT is
+    measured from here."""
+    first_token_seconds: float | None = None
+    """Wall-clock admission → first sampled token (includes time parked
+    between prefill chunks, unlike ``prefill_seconds``)."""
+    preemptions: int = 0
     rng: Any = None
     finished_by_eos: bool = False
 
@@ -88,4 +116,4 @@ class InFlightRequest:
     def is_finished(self) -> bool:
         if self.needs_prefill:
             return False
-        return self.finished_by_eos or self.num_generated >= max(self.request.max_new_tokens, 1)
+        return self.finished_by_eos or self.num_generated >= self.request.max_new_tokens

@@ -1,10 +1,12 @@
 """The step-driven request scheduler.
 
-Each :meth:`RequestScheduler.step` (1) admits queued requests while slots and
-the memory budget allow, (2) gives every in-flight request one unit of work —
-a prefill chunk or one decode step — so long prefills interleave with other
-requests' decodes, (3) retires finished requests and releases their admission
-reservations, and (4) optionally drains one deferred index build.
+Each :meth:`RequestScheduler.step` (1) preempts an in-flight request when an
+SLO-critical arrival is starving and every slot is taken, (2) admits queued
+requests while slots and the memory budget allow, (3) resumes preempted
+requests into leftover slots, (4) gives every in-flight request one unit of
+work — a prefill chunk or one decode step, with all decode-ready requests
+batched into a single forward pass when the backend supports it — and
+(5) retires finished requests, releasing their admission reservations.
 
 The scheduler knows nothing about models or databases: a
 :class:`SchedulerBackend` supplies the actual work.
@@ -14,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from .admission import AdmissionController, AdmissionDecision
 from .policy import FCFSPolicy, SchedulerPolicy
@@ -24,7 +26,12 @@ __all__ = ["SchedulerBackend", "SchedulerStats", "RequestScheduler"]
 
 
 class SchedulerBackend(Protocol):
-    """What the scheduler needs from the serving layer."""
+    """What the scheduler needs from the serving layer.
+
+    ``decode_batch``, ``fail_request``, ``preempt_request`` and
+    ``resume_request`` are optional: the scheduler probes for them and falls
+    back to per-request decodes / ``reject_request`` / no-ops when absent.
+    """
 
     def estimate_request_bytes(self, request: Request) -> int:
         """Estimated GPU-resident bytes the request will pin while in flight."""
@@ -38,11 +45,27 @@ class SchedulerBackend(Protocol):
     def decode_step(self, inflight: InFlightRequest) -> None:
         """Generate one token."""
 
+    def decode_batch(self, inflights: Sequence[InFlightRequest]) -> None:
+        """Generate one token for every request in one batched forward pass."""
+
     def finish_request(self, inflight: InFlightRequest) -> None:
         """Record results and release per-request resources."""
 
     def reject_request(self, request: Request) -> None:
         """Note a request admission control rejected outright."""
+
+    def fail_request(self, request: Request, error: Exception) -> None:
+        """Note a request whose session setup (``begin_request``) raised."""
+
+    def preempted_request_bytes(self, inflight: InFlightRequest) -> int:
+        """Bytes a paused request keeps resident (its session's live KV);
+        only the rest of its reservation is released on preemption."""
+
+    def preempt_request(self, inflight: InFlightRequest) -> None:
+        """A request was paused; its session's pinned state may be spilled."""
+
+    def resume_request(self, inflight: InFlightRequest) -> None:
+        """A paused request is back in flight; re-pin / reload its state."""
 
     def between_steps(self) -> None:
         """Optional slack work (deferred index builds) between steps."""
@@ -55,10 +78,17 @@ class SchedulerStats:
     steps: int = 0
     prefill_chunks: int = 0
     decode_steps: int = 0
+    batched_decode_calls: int = 0
+    """Scheduler rounds that served ≥2 decode-ready requests with one
+    ``decode_batch`` forward pass."""
     admitted: int = 0
     rejected: int = 0
+    failed: int = 0
+    """Requests whose ``begin_request`` raised (state FAILED)."""
     deferrals: int = 0
     """Unique requests that waited on the memory budget at least once."""
+    preemptions: int = 0
+    resumes: int = 0
     completed: int = 0
 
 
@@ -72,6 +102,9 @@ class RequestScheduler:
         admission: AdmissionController | None = None,
         max_inflight: int = 8,
         drain_index_builds: bool = False,
+        decode_batching: bool = True,
+        preemption: bool = False,
+        preemption_slack_seconds: float = 0.5,
     ):
         if max_inflight <= 0:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
@@ -80,8 +113,12 @@ class RequestScheduler:
         self.admission = admission or AdmissionController()
         self.max_inflight = max_inflight
         self.drain_index_builds = drain_index_builds
+        self.decode_batching = decode_batching
+        self.preemption = preemption
+        self.preemption_slack_seconds = preemption_slack_seconds
         self._queue: list[Request] = []
         self._inflight: list[InFlightRequest] = []
+        self._preempted: list[InFlightRequest] = []
         self._arrival_counter = 0
         self.stats = SchedulerStats()
 
@@ -97,14 +134,21 @@ class RequestScheduler:
         return len(self._inflight)
 
     @property
+    def num_preempted(self) -> int:
+        return len(self._preempted)
+
+    @property
     def has_work(self) -> bool:
-        return bool(self._queue or self._inflight)
+        return bool(self._queue or self._inflight or self._preempted)
 
     def queued_requests(self) -> list[Request]:
         return list(self._queue)
 
     def inflight_requests(self) -> list[InFlightRequest]:
         return list(self._inflight)
+
+    def preempted_requests(self) -> list[InFlightRequest]:
+        return list(self._preempted)
 
     # ------------------------------------------------------------------
     # queueing
@@ -120,6 +164,59 @@ class RequestScheduler:
     # ------------------------------------------------------------------
     # the step loop
     # ------------------------------------------------------------------
+    def _preempted_retained_bytes(self, inflight: InFlightRequest) -> int:
+        """Bytes ``inflight`` would keep resident while paused (its session's
+        live KV is not freed by preemption, only its stored context becomes
+        spillable), capped at the current reservation."""
+        query = getattr(self.backend, "preempted_request_bytes", None)
+        if query is None:
+            return 0
+        return min(max(int(query(inflight)), 0), inflight.reserved_bytes)
+
+    def _preempt_for_critical(self) -> None:
+        """Pause one in-flight request when a starving critical arrival needs
+        its slot (at most one victim per step, so preemption stays gradual)."""
+        if not self.preemption or not self._queue:
+            return
+        if len(self._inflight) < self.max_inflight:
+            return  # a slot is already free; plain admission will handle it
+        now = time.monotonic()
+        # the beneficiary must be whatever request the policy will admit next
+        # (not simply the min-slack one): if the policy would hand the freed
+        # slot to someone else — e.g. priority dominates slack under the SLO
+        # policy — preempting here would evict a victim per step without ever
+        # serving the critical request
+        critical = self._queue[self.policy.select(self._queue, now)]
+        if critical.ttft_slack(now) > self.preemption_slack_seconds:
+            return
+        victim_index = self.policy.preemption_victim(
+            self._inflight, critical, now, self.preemption_slack_seconds
+        )
+        if victim_index is None:
+            return
+        victim = self._inflight[victim_index]
+        retained = self._preempted_retained_bytes(victim)
+        releasable = victim.reserved_bytes - retained
+        if (
+            self.admission.budget_bytes is not None
+            and self.backend.estimate_request_bytes(critical)
+            > self.admission.available_bytes + releasable
+        ):
+            # pausing this victim cannot free enough budget to admit the
+            # critical request; preempting would only thrash (pause, fail to
+            # admit, resume — possibly spilling and reloading KV every step)
+            return
+        self._inflight.pop(victim_index)
+        victim.request.state = RequestState.PREEMPTED
+        victim.preemptions += 1
+        self.admission.release(releasable)
+        victim.reserved_bytes = retained
+        self._preempted.append(victim)
+        self.stats.preemptions += 1
+        preempt = getattr(self.backend, "preempt_request", None)
+        if preempt is not None:
+            preempt(victim)
+
     def _admit(self) -> None:
         while self._queue and len(self._inflight) < self.max_inflight:
             now = time.monotonic()
@@ -143,34 +240,73 @@ class RequestScheduler:
             self._queue.pop(index)
             try:
                 inflight = self.backend.begin_request(request)
-            except Exception:
-                # the reservation must not leak when session setup fails
-                # (e.g. a spilled context's snapshot is gone from disk)
+            except Exception as exc:
+                # session setup failed (e.g. a spilled context's snapshot is
+                # gone from disk): release the reservation, record the error
+                # on the request, and keep the round going for everyone else
                 self.admission.release(estimate)
-                request.state = RequestState.REJECTED
-                self.stats.rejected += 1
-                self.backend.reject_request(request)
-                raise
+                request.state = RequestState.FAILED
+                request.error = f"{type(exc).__name__}: {exc}"
+                self.stats.failed += 1
+                fail = getattr(self.backend, "fail_request", None)
+                if fail is not None:
+                    fail(request, exc)
+                else:
+                    self.backend.reject_request(request)
+                continue
             inflight.reserved_bytes = estimate
+            inflight.estimated_bytes = estimate
             inflight.queue_seconds = request.waited_seconds(now)
+            inflight.admitted_at = now
             request.state = RequestState.RUNNING
             self.stats.admitted += 1
             self._inflight.append(inflight)
 
+    def _resume_preempted(self) -> None:
+        """Move paused requests back in flight while slots and budget allow.
+
+        Runs after :meth:`_admit`, so a critical arrival takes the slot its
+        preemption freed before its victim can reclaim it.
+        """
+        while self._preempted and len(self._inflight) < self.max_inflight:
+            inflight = self._preempted[0]
+            # re-reserve only what preemption released (the retained resident
+            # footprint stayed on the books in reserved_bytes)
+            delta = max(inflight.estimated_bytes - inflight.reserved_bytes, 0)
+            if not self.admission.try_reserve_more(delta):
+                break
+            self._preempted.pop(0)
+            inflight.reserved_bytes += delta
+            inflight.request.state = RequestState.RUNNING
+            self._inflight.append(inflight)
+            self.stats.resumes += 1
+            resume = getattr(self.backend, "resume_request", None)
+            if resume is not None:
+                resume(inflight)
+
     def step(self) -> list[InFlightRequest]:
         """Run one scheduling round; returns the requests finished by it."""
         self.stats.steps += 1
+        self._preempt_for_critical()
         self._admit()
-        finished: list[InFlightRequest] = []
+        self._resume_preempted()
+        decode_ready: list[InFlightRequest] = []
         for inflight in list(self._inflight):
             if inflight.needs_prefill:
                 self.backend.prefill_chunk(inflight)
                 self.stats.prefill_chunks += 1
             else:
-                self.backend.decode_step(inflight)
-                self.stats.decode_steps += 1
-            if inflight.is_finished:
-                finished.append(inflight)
+                decode_ready.append(inflight)
+        if decode_ready:
+            batch = getattr(self.backend, "decode_batch", None)
+            if self.decode_batching and len(decode_ready) > 1 and batch is not None:
+                batch(decode_ready)
+                self.stats.batched_decode_calls += 1
+            else:
+                for inflight in decode_ready:
+                    self.backend.decode_step(inflight)
+            self.stats.decode_steps += len(decode_ready)
+        finished = [fl for fl in self._inflight if fl.is_finished]
         for inflight in finished:
             self._inflight.remove(inflight)
             inflight.request.state = RequestState.FINISHED

@@ -163,6 +163,60 @@ class TestTransformerModel:
         assert tiny_model.num_bytes == pytest.approx(tiny_model.num_parameters * 4, rel=0.01)
 
 
+class TestBatchedDecode:
+    def test_matches_per_request_decode(self, tiny_model):
+        """decode_batch row i must equal decode_step on request i's own cache."""
+        prompts = [[1, 2, 3, 4], [5, 6, 7], [8, 9, 10, 11, 12], [1, 2]]
+        next_tokens = [20, 21, 22, 23]
+        sequential, seq_caches = [], []
+        for prompt in prompts:
+            cache = DynamicCache()
+            tiny_model.prefill(prompt, cache)
+            seq_caches.append(cache)
+        for token, cache in zip(next_tokens, seq_caches):
+            sequential.append(tiny_model.decode_step(token, cache))
+        batch_caches = []
+        for prompt in prompts:
+            cache = DynamicCache()
+            tiny_model.prefill(prompt, cache)
+            batch_caches.append(cache)
+        batched = tiny_model.decode_batch(next_tokens, batch_caches)
+        assert batched.shape == (len(prompts), tiny_model.config.vocab_size)
+        for i in range(len(prompts)):
+            np.testing.assert_allclose(batched[i], sequential[i], atol=1e-4)
+        # each request's KV cache advanced exactly as in the sequential path
+        for seq_cache, batch_cache in zip(seq_caches, batch_caches):
+            for layer in range(tiny_model.config.num_layers):
+                assert batch_cache.sequence_length(layer) == seq_cache.sequence_length(layer)
+                np.testing.assert_allclose(
+                    batch_cache.keys(layer), seq_cache.keys(layer), atol=1e-5
+                )
+
+    def test_caches_at_different_positions(self, tiny_model):
+        """Each batch member is rotated by its own cache position."""
+        reference_cache = DynamicCache()
+        tiny_model.prefill([1, 2, 3, 4, 5, 6, 7, 8], reference_cache)
+        reference = tiny_model.decode_step(9, reference_cache)
+
+        short, long = DynamicCache(), DynamicCache()
+        tiny_model.prefill([1, 2], short)
+        tiny_model.prefill([1, 2, 3, 4, 5, 6, 7, 8], long)
+        batched = tiny_model.decode_batch([9, 9], [short, long])
+        np.testing.assert_allclose(batched[1], reference, atol=1e-4)
+        assert short.sequence_length(0) == 3
+        assert long.sequence_length(0) == 9
+
+    def test_empty_batch(self, tiny_model):
+        logits = tiny_model.decode_batch([], [])
+        assert logits.shape == (0, tiny_model.config.vocab_size)
+
+    def test_mismatched_lengths_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.decode_batch([1, 2], [DynamicCache()])
+        with pytest.raises(ValueError):
+            tiny_model.decode_batch(np.zeros((2, 2), dtype=np.int64), [DynamicCache()] * 2)
+
+
 class TestGeneration:
     def test_generates_requested_tokens(self, tiny_model):
         result = generate(tiny_model, "hello", max_new_tokens=5)
@@ -184,3 +238,23 @@ class TestGeneration:
         result = generate(tiny_model, "abcdef", max_new_tokens=4)
         if result.decode_seconds:
             assert result.tpot_seconds == pytest.approx(float(np.mean(result.decode_seconds)))
+
+    def test_zero_max_new_tokens_generates_nothing(self, tiny_model):
+        loop = GenerationLoop(tiny_model)
+        cache = DynamicCache()
+        result = loop.run_tokens([1, 2, 3], cache=cache, max_new_tokens=0)
+        assert result.generated_tokens == []
+        assert result.text == ""
+        assert not result.finished_by_eos
+        # the prefill still ran and filled the cache
+        assert cache.sequence_length(0) == 3
+        assert result.ttft_seconds > 0
+
+    def test_one_max_new_token(self, tiny_model):
+        result = GenerationLoop(tiny_model).run_tokens([1, 2, 3], max_new_tokens=1)
+        assert result.num_generated == 1
+        assert result.decode_seconds == []
+
+    def test_negative_max_new_tokens_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            GenerationLoop(tiny_model).run_tokens([1, 2, 3], max_new_tokens=-1)

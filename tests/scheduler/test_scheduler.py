@@ -29,15 +29,31 @@ class FakeBackend:
     def __init__(self, chunk_tokens=4, bytes_per_request=100):
         self.chunk_tokens = chunk_tokens
         self.bytes_per_request = bytes_per_request
+        self.bytes_overrides: dict[int, int] = {}
+        """Per-request-id overrides of ``bytes_per_request``."""
+        self.preempted_bytes = 0
+        """What ``preempted_request_bytes`` reports a paused request retains."""
         self.begun: list[int] = []
         self.finished: list[int] = []
         self.rejected: list[int] = []
+        self.failed: list[int] = []
+        self.preempted: list[int] = []
+        self.resumed: list[int] = []
+        self.fail_request_ids: set[int] = set()
+        """Requests whose ``begin_request`` raises (for failure-path tests)."""
+        self.batch_sizes: list[int] = []
+        """Size of every ``decode_batch`` call the scheduler issued."""
         self.between_steps_calls = 0
 
     def estimate_request_bytes(self, request):
-        return self.bytes_per_request
+        return self.bytes_overrides.get(request.request_id, self.bytes_per_request)
+
+    def preempted_request_bytes(self, inflight):
+        return self.preempted_bytes
 
     def begin_request(self, request):
+        if request.request_id in self.fail_request_ids:
+            raise RuntimeError(f"session setup exploded for {request.request_id}")
         self.begun.append(request.request_id)
         return InFlightRequest(
             request=request, session=None, pending_tokens=list(request.prompt_tokens)
@@ -45,17 +61,31 @@ class FakeBackend:
 
     def prefill_chunk(self, inflight):
         del inflight.pending_tokens[: self.chunk_tokens]
-        if not inflight.pending_tokens:
+        if not inflight.pending_tokens and inflight.request.max_new_tokens > 0:
             inflight.generated.append(1)
 
     def decode_step(self, inflight):
         inflight.generated.append(1)
+
+    def decode_batch(self, inflights):
+        self.batch_sizes.append(len(inflights))
+        for inflight in inflights:
+            inflight.generated.append(1)
 
     def finish_request(self, inflight):
         self.finished.append(inflight.request.request_id)
 
     def reject_request(self, request):
         self.rejected.append(request.request_id)
+
+    def fail_request(self, request, error):
+        self.failed.append(request.request_id)
+
+    def preempt_request(self, inflight):
+        self.preempted.append(inflight.request.request_id)
+
+    def resume_request(self, inflight):
+        self.resumed.append(inflight.request.request_id)
 
     def between_steps(self):
         self.between_steps_calls += 1
@@ -213,6 +243,283 @@ class TestRequestScheduler:
         assert request.state == RequestState.QUEUED
         scheduler.drain()
         assert request.state == RequestState.FINISHED
+
+
+class TestBatchedDecode:
+    def test_decode_ready_requests_share_one_batch(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, max_inflight=4)
+        for i in range(3):
+            scheduler.submit(_request(i + 1, num_tokens=4, max_new_tokens=3))
+        scheduler.drain()
+        # step 1: all three prefill; steps 2-3: all three decode in one batch
+        assert backend.batch_sizes == [3, 3]
+        assert scheduler.stats.batched_decode_calls == 2
+        assert scheduler.stats.decode_steps == 6
+        assert sorted(backend.finished) == [1, 2, 3]
+
+    def test_single_decode_request_skips_batching(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, max_inflight=4)
+        scheduler.submit(_request(1, num_tokens=4, max_new_tokens=3))
+        scheduler.drain()
+        assert backend.batch_sizes == []
+        assert scheduler.stats.batched_decode_calls == 0
+        assert scheduler.stats.decode_steps == 2
+
+    def test_batching_disabled_falls_back_to_per_request(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, max_inflight=4, decode_batching=False)
+        for i in range(3):
+            scheduler.submit(_request(i + 1, num_tokens=4, max_new_tokens=3))
+        scheduler.drain()
+        assert backend.batch_sizes == []
+        assert scheduler.stats.decode_steps == 6
+        assert sorted(backend.finished) == [1, 2, 3]
+
+    def test_backend_without_decode_batch_still_works(self):
+        backend = FakeBackend()
+        del FakeBackend.decode_batch  # simulate a legacy backend
+        try:
+            scheduler = RequestScheduler(backend, max_inflight=4)
+            for i in range(2):
+                scheduler.submit(_request(i + 1, num_tokens=4, max_new_tokens=2))
+            scheduler.drain()
+            assert sorted(backend.finished) == [1, 2]
+        finally:
+            FakeBackend.decode_batch = _FAKE_DECODE_BATCH
+
+    def test_mixed_prefill_and_decode_round(self):
+        """Prefilling requests keep chunking while the rest decode as a batch."""
+        backend = FakeBackend(chunk_tokens=2)
+        scheduler = RequestScheduler(backend, max_inflight=3)
+        scheduler.submit(_request(1, num_tokens=2, max_new_tokens=4))
+        scheduler.submit(_request(2, num_tokens=2, max_new_tokens=4))
+        scheduler.submit(_request(3, num_tokens=12, max_new_tokens=1))
+        scheduler.step()  # everyone prefills (1 and 2 finish theirs)
+        scheduler.step()  # 1 and 2 decode as a batch of 2, 3 keeps prefilling
+        assert backend.batch_sizes == [2]
+        assert scheduler.stats.prefill_chunks == 4
+
+
+class TestZeroTokenRequests:
+    def test_zero_max_new_tokens_emits_nothing(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend)
+        request = _request(1, num_tokens=4, max_new_tokens=0)
+        scheduler.submit(request)
+        scheduler.drain()
+        assert backend.finished == [1]
+        assert request.state == RequestState.FINISHED
+        assert scheduler.stats.decode_steps == 0
+
+    def test_negative_max_new_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            _request(1, max_new_tokens=-1)
+
+
+class TestBeginRequestFailure:
+    def test_failure_does_not_poison_the_round(self):
+        """One request's session-setup failure leaves the rest serving."""
+        backend = FakeBackend()
+        backend.fail_request_ids = {2}
+        scheduler = RequestScheduler(backend, max_inflight=4)
+        requests = [_request(i + 1, num_tokens=4, max_new_tokens=2) for i in range(3)]
+        for request in requests:
+            scheduler.submit(request)
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 3]
+        assert backend.failed == [2]
+        assert requests[1].state == RequestState.FAILED
+        assert "session setup exploded" in requests[1].error
+        assert scheduler.stats.failed == 1
+        assert scheduler.stats.completed == 2
+
+    def test_failure_releases_reservation(self):
+        backend = FakeBackend()
+        backend.fail_request_ids = {1}
+        scheduler = RequestScheduler(
+            backend, admission=AdmissionController(budget_bytes=100), max_inflight=4
+        )
+        scheduler.submit(_request(1, max_new_tokens=1))
+        scheduler.drain()
+        assert scheduler.admission.committed_bytes == 0
+
+    def test_failure_without_fail_hook_falls_back_to_reject(self):
+        backend = FakeBackend()
+        backend.fail_request_ids = {1}
+        del FakeBackend.fail_request
+        try:
+            scheduler = RequestScheduler(backend)
+            request = _request(1, max_new_tokens=1)
+            scheduler.submit(request)
+            scheduler.drain()
+            assert backend.rejected == [1]
+            assert request.state == RequestState.FAILED
+        finally:
+            FakeBackend.fail_request = _FAKE_FAIL_REQUEST
+
+
+class TestPreemption:
+    def _scheduler(self, backend, **kwargs):
+        kwargs.setdefault("policy", SLOAwarePolicy())
+        kwargs.setdefault("preemption", True)
+        kwargs.setdefault("preemption_slack_seconds", 0.5)
+        return RequestScheduler(backend, **kwargs)
+
+    def test_critical_arrival_preempts_slack_rich_victim(self):
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        victim = _request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO)
+        scheduler.submit(victim)
+        scheduler.step()
+        assert scheduler.num_inflight == 1
+        critical = _request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1))
+        scheduler.submit(critical)
+        scheduler.step()
+        # the batch request was paused and the critical one admitted
+        assert victim.state == RequestState.PREEMPTED
+        assert critical.state in (RequestState.RUNNING, RequestState.FINISHED)
+        assert backend.preempted == [1]
+        assert scheduler.stats.preemptions == 1
+        scheduler.drain()
+        # the victim resumed once the critical request finished, then completed
+        assert backend.resumed == [1]
+        assert scheduler.stats.resumes == 1
+        assert sorted(backend.finished) == [1, 2]
+        assert victim.state == RequestState.FINISHED
+
+    def test_preempted_reservation_is_released_and_retaken(self):
+        backend = FakeBackend(chunk_tokens=1, bytes_per_request=60)
+        scheduler = self._scheduler(
+            backend, max_inflight=1, admission=AdmissionController(budget_bytes=100)
+        )
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO))
+        scheduler.step()
+        assert scheduler.admission.committed_bytes == 60
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=2, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        # victim released its 60 bytes; the critical request holds its own 60
+        assert scheduler.num_preempted == 1
+        assert scheduler.admission.committed_bytes == 60
+        scheduler.drain()
+        assert scheduler.admission.committed_bytes == 0
+
+    def test_no_preemption_without_critical_arrival(self):
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=4, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=BATCH_SLO))
+        scheduler.drain()
+        assert scheduler.stats.preemptions == 0
+        assert backend.finished == [1, 2]
+
+    def test_critical_victim_is_never_preempted(self):
+        """A victim near its own deadline has no slack to give."""
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=4, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        assert scheduler.stats.preemptions == 0
+
+    def test_fcfs_policy_never_names_a_victim(self):
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = RequestScheduler(
+            backend, policy=FCFSPolicy(), preemption=True, max_inflight=1
+        )
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=4, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.01)))
+        scheduler.drain()
+        assert scheduler.stats.preemptions == 0
+
+    def test_no_preemption_when_policy_would_admit_someone_else(self):
+        """If the next admission would go to a high-priority (non-critical)
+        request, preempting for the min-slack one would evict a victim per
+        step without ever serving it — so no victim is taken at all."""
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1)))
+        scheduler.submit(_request(3, num_tokens=1, max_new_tokens=1, priority=5))
+        scheduler.step()
+        # priority dominates slack in SLOAwarePolicy.select, so the freed slot
+        # would go to request 3 — preempting for request 2 cannot help it
+        assert scheduler.stats.preemptions == 0
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 2, 3]
+
+    def test_resumes_do_not_inflate_admission_stats(self):
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1)))
+        scheduler.drain()
+        assert scheduler.stats.resumes == 1
+        # two unique requests were admitted; the resume is not a third
+        assert scheduler.admission.stats.admitted == 2
+
+    def test_no_preemption_when_budget_still_blocks_the_critical(self):
+        """Pausing a victim that cannot free enough budget would only thrash
+        (preempt, fail to admit, resume — every step), so it must not happen."""
+        backend = FakeBackend(chunk_tokens=1, bytes_per_request=30)
+        backend.bytes_overrides = {3: 80}
+        scheduler = self._scheduler(
+            backend, max_inflight=2, admission=AdmissionController(budget_bytes=100)
+        )
+        for i in (1, 2):
+            scheduler.submit(_request(i, num_tokens=4, max_new_tokens=4, slo=BATCH_SLO))
+        scheduler.step()
+        assert scheduler.num_inflight == 2
+        scheduler.submit(_request(3, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        # 80 > (100 - 60 available) + 30 releasable: preemption cannot help
+        assert scheduler.stats.preemptions == 0
+        scheduler.drain()
+        assert sorted(backend.finished) == [1, 2, 3]
+
+    def test_retained_footprint_stays_reserved_across_preemption(self):
+        """Only the reservation beyond the session's still-resident bytes is
+        released on preemption, and exactly that delta is re-taken on resume."""
+        backend = FakeBackend(chunk_tokens=1, bytes_per_request=60)
+        backend.preempted_bytes = 20
+        scheduler = self._scheduler(
+            backend, max_inflight=1, admission=AdmissionController(budget_bytes=100)
+        )
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=2, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        # victim keeps 20 of its 60 on the books; the critical request holds 60
+        assert scheduler.num_preempted == 1
+        assert scheduler.preempted_requests()[0].reserved_bytes == 20
+        assert scheduler.admission.committed_bytes == 80
+        scheduler.drain()
+        assert scheduler.admission.committed_bytes == 0
+        assert sorted(backend.finished) == [1, 2]
+
+    def test_preempted_counts_as_work(self):
+        """drain() must not stop while a preempted request awaits resume."""
+        backend = FakeBackend(chunk_tokens=1)
+        scheduler = self._scheduler(backend, max_inflight=1)
+        scheduler.submit(_request(1, num_tokens=8, max_new_tokens=8, slo=BATCH_SLO))
+        scheduler.step()
+        scheduler.submit(_request(2, num_tokens=1, max_new_tokens=1, slo=SLO(ttft_seconds=0.1)))
+        scheduler.step()
+        assert scheduler.num_preempted == 1
+        assert scheduler.has_work
+        scheduler.drain()
+        assert not scheduler.has_work
+        assert sorted(backend.finished) == [1, 2]
+
+
+_FAKE_DECODE_BATCH = FakeBackend.decode_batch
+_FAKE_FAIL_REQUEST = FakeBackend.fail_request
 
 
 @pytest.fixture(scope="module")
