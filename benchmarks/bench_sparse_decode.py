@@ -1,0 +1,200 @@
+"""Head-batched sparse decode — the per-token attention hot path.
+
+``Session._sparse_attention`` used to run a Python loop over query heads: one
+``PlanExecutor.retrieve`` and one ``DataCentricAttentionEngine.head_output``
+call per head per layer per token, so the continuous-batching win of the
+scheduler stopped dead at the attention boundary.  This harness measures the
+``sparse_head_batching`` refactor on one session decoding against a stored
+long context, per plan mix (Figure 8's optimizer outputs):
+
+* **flat scan** — DIPR over the flat index on every layer; the batched path
+  computes one ``(g, d) @ (d, n)`` score matrix per GQA group instead of
+  ``g`` separate scans;
+* **coarse top-k** — the large-budget / InfLLM path; the batched path shares
+  the query-to-representative matmul and the block top-k across each group;
+* **dipr (flat + fine)** — the paper's limited-budget mix (flat layer 0,
+  RoarGraph elsewhere); the graph traversal is hop-sequential per head (hops
+  are vectorized *inside* ``diprs_search``), so only the seeds/attention
+  batch and the speedup is modest — reported, not asserted.
+
+Both modes must produce allclose-identical outputs and identical
+``DecodeStepStats``; at full size the scan-based mixes must hit
+``MIN_SPEEDUP`` with 8+ query heads.  ``BENCH_SMOKE=1`` shrinks the workload
+for CI sanity runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.common import emit, run_once, smoke_mode
+from repro.analysis.reporting import format_table
+from repro.core.config import AlayaDBConfig
+from repro.core.context_store import StoredContext
+from repro.core.session import Session
+from repro.index.builder import LayerIndexes
+from repro.index.coarse import CoarseBlockIndex
+from repro.index.roargraph import RoarGraphIndex
+from repro.kvcache.serialization import KVSnapshot
+
+EXPERIMENT = "Sparse decode head batching"
+
+SMOKE = smoke_mode()
+NUM_KV_HEADS = 2 if SMOKE else 8
+GQA_GROUP_SIZE = 4
+NUM_HEADS = NUM_KV_HEADS * GQA_GROUP_SIZE  # 8 smoke / 32 full
+NUM_LAYERS = 2
+HEAD_DIM = 16
+CONTEXT_TOKENS = 256 if SMOKE else 2048
+DECODE_TOKENS = 3 if SMOKE else 15
+MIN_SPEEDUP = 2.0
+
+BASE_CONFIG = dict(
+    short_context_threshold=64,
+    window_initial_tokens=16 if SMOKE else 64,
+    window_last_tokens=32 if SMOKE else 128,
+    dipr_beta=6.0,
+    scale_beta_to_head_dim=False,
+    dipr_capacity_threshold=16,
+)
+
+#: plan mixes: config knobs routing the optimizer to each execution path
+MIXES = {
+    "flat scan": dict(gpu_memory_budget_bytes=1, flat_index_layers=tuple(range(NUM_LAYERS))),
+    "coarse top-k": dict(gpu_memory_budget_bytes=10**18, topk_k=64, coarse_num_blocks=4),
+    "dipr (flat+fine)": dict(gpu_memory_budget_bytes=1),
+}
+ASSERTED_MIXES = ("flat scan", "coarse top-k")
+
+
+def _build_context(rng):
+    """A stored context with clustered keys (attention-like) plus all indexes."""
+    keys, values, directions = {}, {}, {}
+    cluster_size = max(8, CONTEXT_TOKENS // 32)
+    for layer in range(NUM_LAYERS):
+        layer_keys = rng.normal(0, 0.35, size=(NUM_KV_HEADS, CONTEXT_TOKENS, HEAD_DIM)).astype(np.float32)
+        directions[layer] = []
+        for kv_head in range(NUM_KV_HEADS):
+            direction = rng.normal(size=HEAD_DIM)
+            direction /= np.linalg.norm(direction)
+            cluster = rng.choice(CONTEXT_TOKENS, size=cluster_size, replace=False)
+            layer_keys[kv_head, cluster] += (4.0 * direction).astype(np.float32)
+            directions[layer].append(direction)
+        keys[layer] = layer_keys
+        values[layer] = rng.normal(size=(NUM_KV_HEADS, CONTEXT_TOKENS, HEAD_DIM)).astype(np.float32)
+    snapshot = KVSnapshot(tokens=list(range(CONTEXT_TOKENS)), keys=keys, values=values)
+    context = StoredContext(context_id="bench-sparse", snapshot=snapshot)
+    for layer in range(NUM_LAYERS):
+        fine, coarse = [], []
+        for kv_head in range(NUM_KV_HEADS):
+            samples = (
+                np.asarray(directions[layer][kv_head])[None, :] * np.sqrt(HEAD_DIM)
+                + rng.normal(0, 0.8, size=(max(64, CONTEXT_TOKENS // 5), HEAD_DIM))
+            ).astype(np.float32)
+            index = RoarGraphIndex()
+            index.build(keys[layer][kv_head], query_sample=samples)
+            fine.append(index)
+            block_index = CoarseBlockIndex(block_size=64)
+            block_index.build(keys[layer][kv_head])
+            coarse.append(block_index)
+        context.fine_indexes[layer] = LayerIndexes(
+            layer=layer, indexes=fine, shared=True, gqa_group_size=GQA_GROUP_SIZE
+        )
+        context.coarse_indexes[layer] = coarse
+    return context, directions
+
+
+def _decode(config: AlayaDBConfig, context, directions):
+    """Decode DECODE_TOKENS tokens; returns per-token seconds, outputs, stats."""
+    session = Session(
+        config, context=context, reused_prefix_length=context.num_tokens, num_layers=NUM_LAYERS
+    )
+    rng = np.random.default_rng(93)
+    outputs = []
+    start = time.perf_counter()
+    for _ in range(DECODE_TOKENS):
+        for layer in range(NUM_LAYERS):
+            q = np.stack(
+                [
+                    directions[layer][head // GQA_GROUP_SIZE] * np.sqrt(HEAD_DIM)
+                    + rng.normal(0, 0.5, HEAD_DIM)
+                    for head in range(NUM_HEADS)
+                ]
+            ).astype(np.float32)[:, None, :]
+            k = rng.normal(0, 0.35, size=(NUM_KV_HEADS, 1, HEAD_DIM)).astype(np.float32)
+            v = rng.normal(size=(NUM_KV_HEADS, 1, HEAD_DIM)).astype(np.float32)
+            session.update_query(q, k, v, layer)
+            outputs.append(session.attention(q, layer))
+    seconds = (time.perf_counter() - start) / DECODE_TOKENS
+    return seconds, outputs, session.total_decode_stats, session.plan_for_layer(NUM_LAYERS - 1)
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    context, directions = _build_context(rng)
+    results = {}
+    for mix, overrides in MIXES.items():
+        config = AlayaDBConfig(**{**BASE_CONFIG, **overrides})
+        batched_s, batched_out, batched_stats, plan = _decode(
+            replace(config, sparse_head_batching=True), context, directions
+        )
+        per_head_s, per_head_out, per_head_stats, _ = _decode(
+            replace(config, sparse_head_batching=False), context, directions
+        )
+        results[mix] = {
+            "batched_ms": batched_s * 1000,
+            "per_head_ms": per_head_s * 1000,
+            "speedup": per_head_s / batched_s,
+            "equivalent": all(
+                np.allclose(a, b, atol=1e-4) for a, b in zip(batched_out, per_head_out)
+            ),
+            "stats_equal": batched_stats == per_head_stats,
+            "selected_per_head": batched_stats.mean_selected_per_head,
+            "plan": plan.describe(),
+        }
+    return results
+
+
+def test_sparse_decode_head_batching(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    rows = [
+        [
+            mix,
+            r["plan"],
+            round(r["per_head_ms"], 2),
+            round(r["batched_ms"], 2),
+            f"{r['speedup']:.2f}x",
+            round(r["selected_per_head"], 1),
+        ]
+        for mix, r in results.items()
+    ]
+    lines = [
+        format_table(
+            ["plan mix", "last-layer plan", "per-head ms/tok", "batched ms/tok", "speedup", "sel/head"],
+            rows,
+            title=(
+                f"--- sparse decode, {NUM_HEADS} query heads "
+                f"({NUM_KV_HEADS} KV x group {GQA_GROUP_SIZE}), "
+                f"{CONTEXT_TOKENS} stored tokens, {NUM_LAYERS} layers ---"
+            ),
+        ),
+        "(dipr mix: graph traversal is hop-sequential per head; only seeds/attention batch)",
+    ]
+    emit(EXPERIMENT, "\n".join(lines))
+
+    # equivalence holds at any size: the batched path must be a pure
+    # performance refactor
+    for mix, r in results.items():
+        assert r["equivalent"], f"{mix}: batched outputs diverged from the per-head path"
+        assert r["stats_equal"], f"{mix}: DecodeStepStats diverged from the per-head path"
+    if not SMOKE:
+        # wall-clock comparisons only at full size (smoke keeps CI fast and
+        # immune to noisy-runner timing)
+        for mix in ASSERTED_MIXES:
+            assert results[mix]["speedup"] >= MIN_SPEEDUP, (
+                f"{mix}: {results[mix]['speedup']:.2f}x < {MIN_SPEEDUP}x"
+            )

@@ -109,6 +109,155 @@ class DataCentricAttentionEngine:
         merged = merge_partial_attention(partials)
         return merged[0], breakdown
 
+    def layer_output(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        window_positions: np.ndarray,
+        retrieved_positions: list[np.ndarray],
+        local_keys: np.ndarray | None = None,
+        local_values: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, list[AttentionBreakdown]]:
+        """Sparse attention outputs for all query heads of one layer, batched.
+
+        The batched sibling of :meth:`head_output`: the window and local
+        partials are computed with one ``partial_attention`` call each over
+        the full head dimension (GQA expansion included), the per-head
+        retrieved sets are padded into one ``(heads, m_max, d)`` gather, and a
+        single per-head merge replaces ``heads`` separate merges.  Row ``h``
+        of the output (and entry ``h`` of the breakdown list) matches
+        ``head_output`` for query head ``h``.
+
+        Parameters
+        ----------
+        queries:
+            ``(num_query_heads, head_dim)`` decode queries.
+        keys / values:
+            ``(num_kv_heads, n, head_dim)`` KV of the stored context.
+        window_positions:
+            Positions in the GPU window cache (shared by all heads).
+        retrieved_positions:
+            One position array per query head (deduplicated against the
+            window inside this method).
+        local_keys / local_values:
+            ``(num_kv_heads, m, head_dim)`` unmaterialised local KV, or None.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        num_heads, head_dim = queries.shape
+        window_positions = np.asarray(window_positions, dtype=np.int64)
+        num_kv_heads = keys.shape[0]
+        gqa_group_size = num_heads // num_kv_heads
+
+        # dedup against the window with one shared lookup table instead of a
+        # per-head setdiff1d; np.unique keeps setdiff1d's sorted-unique output
+        in_window = None
+        if window_positions.size:
+            in_window = np.zeros(keys.shape[1], dtype=bool)
+            in_window[window_positions] = True
+        deduped: list[np.ndarray] = []
+        for positions in retrieved_positions:
+            positions = np.asarray(positions, dtype=np.int64)
+            if in_window is not None and positions.size:
+                positions = np.unique(positions[~in_window[positions]])
+            deduped.append(positions)
+
+        breakdowns = [AttentionBreakdown() for _ in range(num_heads)]
+        partials: list[PartialAttention] = []
+        if window_positions.size:
+            partials.append(
+                partial_attention(
+                    queries,
+                    keys[:, window_positions, :],
+                    values[:, window_positions, :],
+                    scale=self.scale,
+                )
+            )
+            for breakdown in breakdowns:
+                breakdown.num_window_tokens = int(window_positions.size)
+        retrieved_partial = self._retrieved_partial(queries, keys, values, deduped, gqa_group_size)
+        if retrieved_partial is not None:
+            partials.append(retrieved_partial)
+            for breakdown, positions in zip(breakdowns, deduped):
+                breakdown.num_retrieved_tokens = int(positions.size)
+        if local_keys is not None and local_keys.shape[1] > 0:
+            partials.append(
+                partial_attention(queries, local_keys, local_values, scale=self.scale)
+            )
+            for breakdown in breakdowns:
+                breakdown.num_local_tokens = int(local_keys.shape[1])
+        return self._merge_per_head(partials, num_heads, head_dim), breakdowns
+
+    def _retrieved_partial(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions_per_head: list[np.ndarray],
+        gqa_group_size: int,
+    ) -> PartialAttention | None:
+        """Partial attention over the per-head retrieved sets, padded to one batch.
+
+        Heads retrieve different numbers of tokens, so the gather pads every
+        head to the longest set and masks the padding out of the softmax
+        statistics.  Heads with nothing retrieved come back as the per-head
+        neutral element (``max_logit=-inf``, ``sum_exp=0``).
+        """
+        num_heads, head_dim = queries.shape
+        lengths = [int(p.size) for p in positions_per_head]
+        max_len = max(lengths, default=0)
+        if max_len == 0:
+            return None
+        padded = np.zeros((num_heads, max_len), dtype=np.int64)
+        mask = np.zeros((num_heads, max_len), dtype=bool)
+        for head, positions in enumerate(positions_per_head):
+            padded[head, : positions.size] = positions
+            mask[head, : positions.size] = True
+        kv_of_head = np.arange(num_heads) // gqa_group_size
+        gathered_keys = keys[kv_of_head[:, None], padded, :]
+        gathered_values = values[kv_of_head[:, None], padded, :]
+        scale = self.scale if self.scale is not None else 1.0 / np.sqrt(head_dim)
+        logits = np.einsum("hd,hmd->hm", queries, gathered_keys) * np.float32(scale)
+        logits = np.where(mask, logits, np.float32(-np.inf))
+        max_logit = logits.max(axis=1)
+        empty = np.isneginf(max_logit)
+        safe_max = np.where(empty, np.float32(0.0), max_logit)
+        exps = np.where(mask, np.exp(logits - safe_max[:, None]), np.float32(0.0))
+        sum_exp = exps.sum(axis=1)
+        denom = np.where(sum_exp == 0.0, np.float32(1.0), sum_exp)
+        output = np.einsum("hm,hmd->hd", exps, gathered_values) / denom[:, None]
+        return PartialAttention(
+            output=output.astype(np.float32),
+            max_logit=max_logit.astype(np.float32),
+            sum_exp=sum_exp.astype(np.float32),
+        )
+
+    @staticmethod
+    def _merge_per_head(partials: list[PartialAttention], num_heads: int, head_dim: int) -> np.ndarray:
+        """Merge batched partials, tolerating per-head-empty statistics.
+
+        ``merge_partial_attention`` only drops partials that are empty for
+        *every* head; here a partial may be empty for some heads only (e.g. a
+        head that retrieved nothing), so the weights are formed against a
+        finite per-head maximum and all-empty heads fall back to zeros — the
+        same result the per-head path produces when a head has no partials.
+        """
+        partials = [p for p in partials if not p.is_empty()]
+        if not partials:
+            return np.zeros((num_heads, head_dim), dtype=np.float32)
+        if len(partials) == 1:
+            return partials[0].output.copy()
+        global_max = np.max(np.stack([p.max_logit for p in partials], axis=0), axis=0)
+        safe_max = np.where(np.isneginf(global_max), np.float32(0.0), global_max)
+        total_weight = np.zeros(num_heads, dtype=np.float32)
+        accumulated = np.zeros((num_heads, head_dim), dtype=np.float32)
+        for part in partials:
+            weight = part.sum_exp * np.exp(part.max_logit - safe_max)
+            accumulated += part.output * weight[:, None]
+            total_weight += weight
+        denom = np.where(total_weight == 0.0, np.float32(1.0), total_weight)
+        return (accumulated / denom[:, None]).astype(np.float32)
+
     def full_output(
         self,
         query: np.ndarray,

@@ -57,6 +57,13 @@ class AlayaDBConfig:
     # retrieval safety valve
     max_retrieved_tokens: int | None = None
 
+    # sparse decode hot path
+    sparse_head_batching: bool = True
+    """Serve sparse decode attention with head-batched execution — per-GQA-group
+    shared flat/coarse scans, one batched window-seed matmul, and stacked
+    partial-attention merges — instead of one retrieval + merge per query
+    head.  Off falls back to the per-head path (same outputs and stats)."""
+
     # index construction
     index_build: IndexBuildConfig = field(default_factory=IndexBuildConfig)
 

@@ -21,7 +21,7 @@ forking the optimizer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from ..query.types import DIPRQuery, FilterPredicate, IndexKind, QueryKind, TopKQuery
@@ -84,20 +84,14 @@ class RuleBasedOptimizer:
         return ExecutionPlan(query_kind=QueryKind.FULL, index_kind=None)
 
     def plan_all_layers(self, query_context: QueryContext) -> dict[int, ExecutionPlan]:
-        """Plans for every layer of the model serving this context."""
+        """Plans for every layer of the model serving this context.
+
+        The per-layer contexts are derived with :func:`dataclasses.replace`
+        so every field of ``query_context`` — including ones added later —
+        reaches the per-layer planning unchanged.
+        """
         return {
-            layer: self.plan(
-                QueryContext(
-                    context_length=query_context.context_length,
-                    layer=layer,
-                    head_dim=query_context.head_dim,
-                    num_kv_heads=query_context.num_kv_heads,
-                    num_layers=query_context.num_layers,
-                    reused_prefix_length=query_context.reused_prefix_length,
-                    gpu_memory_budget_bytes=query_context.gpu_memory_budget_bytes,
-                    kv_bytes_per_token=query_context.kv_bytes_per_token,
-                )
-            )
+            layer: self.plan(replace(query_context, layer=layer))
             for layer in range(query_context.num_layers)
         }
 
@@ -128,7 +122,16 @@ class RuleBasedOptimizer:
         budget = query_context.gpu_memory_budget_bytes
         if budget is None:
             budget = config.gpu_memory_budget_bytes
-        required = query_context.context_length * max(query_context.kv_bytes_per_token, 1)
+        bytes_per_token = query_context.kv_bytes_per_token
+        if bytes_per_token <= 0:
+            # derive from the model shape (K + V, float32, every layer): the
+            # unset-field default used to degenerate to 1 byte/token, which
+            # made any context look within budget and the DIPR rule
+            # unreachable for direct QueryContext users
+            bytes_per_token = (
+                2 * query_context.num_kv_heads * query_context.head_dim * 4 * query_context.num_layers
+            )
+        required = query_context.context_length * bytes_per_token
         if required > budget:
             return None
         return ExecutionPlan(

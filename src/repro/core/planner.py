@@ -144,6 +144,116 @@ class PlanExecutor:
             return self._retrieve_coarse(plan, data, kv_head, query)
         raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
 
+    def retrieve_heads(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        queries: np.ndarray,
+        window_max_scores: np.ndarray | None = None,
+    ) -> list[RetrievalOutcome]:
+        """Run ``plan`` for every query head of one layer in one call.
+
+        ``queries`` is ``(num_query_heads, head_dim)`` and
+        ``window_max_scores`` the per-head window seeds.  The scan-based index
+        kinds share their per-KV-head work across the GQA group: the flat path
+        computes one ``(g, d) @ (d, n)`` score matrix per group instead of
+        ``g`` separate scans, and the coarse path shares the
+        query-to-representative matmul the same way.  The fine path stays a
+        per-head graph traversal (its hops are sequential), vectorized at the
+        hop level inside ``diprs_search``.  Entry ``h`` matches
+        :meth:`retrieve` for query head ``h``.
+        """
+        if plan.is_full_attention:
+            raise PlanningError("full-attention plans are executed by the attention engine, not retrieval")
+        queries = np.asarray(queries, dtype=np.float32)
+        num_heads = queries.shape[0]
+        num_tokens = data.keys.shape[1]
+
+        if plan.index_kind == IndexKind.FLAT:
+            return self._retrieve_flat_heads(plan, data, queries, num_tokens)
+        if plan.index_kind == IndexKind.COARSE:
+            return self._retrieve_coarse_heads(plan, data, queries)
+        if plan.index_kind == IndexKind.FINE:
+            outcomes = []
+            for head in range(num_heads):
+                seed = None if window_max_scores is None else float(window_max_scores[head])
+                outcomes.append(
+                    self._retrieve_fine(plan, data, head, queries[head], seed, num_tokens)
+                )
+            return outcomes
+        raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
+
+    def _heads_by_kv_head(self, data: LayerIndexData, num_heads: int) -> dict[int, list[int]]:
+        groups: dict[int, list[int]] = {}
+        for head in range(num_heads):
+            groups.setdefault(data.kv_head_for_query_head(head), []).append(head)
+        return groups
+
+    def _retrieve_flat_heads(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        queries: np.ndarray,
+        num_tokens: int,
+    ) -> list[RetrievalOutcome]:
+        allowed = predicate_mask(num_tokens, plan.predicate)
+        outcomes: list[RetrievalOutcome | None] = [None] * queries.shape[0]
+        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0]).items():
+            index = data.flat_index_for_kv_head(kv_head)
+            if isinstance(plan.query, DIPRQuery):
+                results = index.search_range_batch(queries[heads], plan.query.beta, allowed=allowed)
+                if plan.query.max_tokens is not None:
+                    results = [result.top(plan.query.max_tokens) for result in results]
+            elif isinstance(plan.query, TopKQuery):
+                results = index.search_topk_batch(queries[heads], plan.query.k, allowed=allowed)
+            else:
+                raise UnsupportedQueryError(f"flat index cannot process {plan.query!r}")
+            for head, result in zip(heads, results):
+                outcomes[head] = RetrievalOutcome(
+                    result.indices, result.scores, result.num_distance_computations, len(result)
+                )
+        return outcomes
+
+    def _retrieve_coarse_heads(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        queries: np.ndarray,
+    ) -> list[RetrievalOutcome]:
+        if isinstance(plan.query, DIPRQuery):
+            raise UnsupportedQueryError("the coarse index does not support DIPR queries (Table 4)")
+        if not isinstance(plan.query, TopKQuery):
+            raise UnsupportedQueryError(f"coarse index cannot process {plan.query!r}")
+        outcomes: list[RetrievalOutcome | None] = [None] * queries.shape[0]
+        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0]).items():
+            index = data.coarse_index_for_kv_head(kv_head)
+            num_blocks = max(1, min(self.coarse_num_blocks, index.num_blocks))
+            per_head_positions = index.selected_positions_batch(queries[heads], num_blocks)
+            distance_computations = index.num_blocks * index.num_representatives
+            if plan.predicate is not None:
+                per_head_positions = [
+                    positions[positions < plan.predicate.max_position]
+                    for positions in per_head_positions
+                ]
+            lengths = {positions.shape[0] for positions in per_head_positions}
+            if len(lengths) == 1 and next(iter(lengths)) > 0:
+                # every head selected the same number of tokens (the common
+                # case: equal-size blocks, no predicate truncation): score the
+                # whole group with one gathered einsum
+                stacked = np.stack(per_head_positions)
+                gathered = index.vectors[stacked]
+                group_scores = np.einsum("gd,gmd->gm", queries[heads], gathered).astype(np.float32)
+            else:
+                group_scores = [
+                    (index.vectors[positions] @ queries[head]).astype(np.float32)
+                    for head, positions in zip(heads, per_head_positions)
+                ]
+            for slot, (head, positions) in enumerate(zip(heads, per_head_positions)):
+                outcomes[head] = RetrievalOutcome(
+                    positions, group_scores[slot], distance_computations, len(positions)
+                )
+        return outcomes
+
     # ------------------------------------------------------------------
     # per-index-kind paths
     # ------------------------------------------------------------------

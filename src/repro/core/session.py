@@ -25,6 +25,7 @@ from .attention_engine import DataCentricAttentionEngine
 from .config import AlayaDBConfig
 from .context_store import StoredContext
 from .optimizer import QueryContext, RuleBasedOptimizer
+from ..query.types import IndexKind
 from .planner import ExecutionPlan, LayerIndexData, PlanExecutor
 from .window_cache import WindowCache
 
@@ -352,6 +353,72 @@ class Session:
         return full_attention(q, keys, values, causal=True)
 
     def _sparse_attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        if self.config.sparse_head_batching:
+            return self._sparse_attention_batched(q, layer)
+        return self._sparse_attention_per_head(q, layer)
+
+    def _sparse_attention_batched(self, q: np.ndarray, layer: int) -> np.ndarray:
+        """The head-batched sparse decode hot path.
+
+        One decode step of one layer used to cost ``num_query_heads``
+        retrieval calls and ``num_query_heads`` partial-attention merges; here
+        the window seeds come from a single batched matmul
+        (``WindowCache.max_window_scores``), the scan-based retrieval kinds
+        share their per-KV-head work across each GQA group
+        (``PlanExecutor.retrieve_heads``), and the window/retrieved/local
+        partials are stacked into one per-layer merge
+        (``DataCentricAttentionEngine.layer_output``).  Outputs and
+        :class:`DecodeStepStats` match the per-head fallback.
+        """
+        dims = self._dims
+        plan = self._plans_for_context()[layer]
+        data = self._layer_index_data(layer)
+        local_keys, local_values = self.local_snapshot(layer)
+        prefix = self.reused_prefix_length
+        prefix_keys = self.context.keys(layer)[:, :prefix, :]
+        prefix_values = self.context.values(layer)[:, :prefix, :]
+        window_positions = self.window.positions(prefix)
+        has_local = local_keys.shape[1] > 0
+
+        queries = q[:, 0, :]
+        # only the fine (DIPRS) path consumes the window seeds; skip the
+        # batched seed matmuls for flat/coarse plans
+        window_max = None
+        if plan.index_kind == IndexKind.FINE:
+            window_max = self.window.max_window_scores(queries, prefix_keys, window_positions)
+            if has_local:
+                # same per-head matvec as the fallback path: the seed must be
+                # bit-identical across modes (it drives DIPRS pruning)
+                for head in range(dims.num_query_heads):
+                    local_best = float((local_keys[head // dims.gqa_group_size] @ queries[head]).max())
+                    window_max[head] = max(float(window_max[head]), local_best)
+
+        outcomes = self.executor.retrieve_heads(plan, data, queries, window_max_scores=window_max)
+        retrieved = [outcome.positions[outcome.positions < prefix] for outcome in outcomes]
+
+        head_outputs, breakdowns = self.engine.layer_output(
+            queries,
+            prefix_keys,
+            prefix_values,
+            window_positions=window_positions,
+            retrieved_positions=retrieved,
+            local_keys=local_keys if has_local else None,
+            local_values=local_values if has_local else None,
+        )
+
+        stats = DecodeStepStats()
+        for outcome, breakdown in zip(outcomes, breakdowns):
+            stats.num_selected_tokens += breakdown.num_retrieved_tokens
+            stats.num_distance_computations += outcome.num_distance_computations
+            stats.num_window_tokens += breakdown.num_window_tokens
+            stats.num_local_tokens += breakdown.num_local_tokens
+            stats.num_heads += 1
+        self._record_decode_stats(stats, layer)
+        return head_outputs[:, None, :]
+
+    def _sparse_attention_per_head(self, q: np.ndarray, layer: int) -> np.ndarray:
+        """The original per-head path, kept as the ``sparse_head_batching=False``
+        fallback (and the reference the batched path is tested against)."""
         dims = self._dims
         plan = self._plans_for_context()[layer]
         data = self._layer_index_data(layer)
@@ -393,8 +460,11 @@ class Session:
             stats.num_local_tokens += breakdown.num_local_tokens
             stats.num_heads += 1
 
+        self._record_decode_stats(stats, layer)
+        return outputs
+
+    def _record_decode_stats(self, stats: DecodeStepStats, layer: int) -> None:
         self.last_decode_stats = stats
         self.total_decode_stats.merge(stats)
         if layer == self.num_layers - 1:
             self.num_decode_steps += 1
-        return outputs

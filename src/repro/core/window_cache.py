@@ -61,3 +61,29 @@ class WindowCache:
             return float("-inf")
         scores = keys[positions] @ np.asarray(query, dtype=np.float32)
         return float(scores.max())
+
+    def max_window_scores(self, queries: np.ndarray, keys: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Per-head maximum inner products with the window keys.
+
+        ``queries`` is ``(num_query_heads, d)``; ``keys`` is the full
+        ``(num_kv_heads, n, d)`` key tensor of one layer (each KV head serves
+        a GQA group of query heads).  The window gather is shared per KV head;
+        each head's score is then the same matvec :meth:`max_window_score`
+        computes, so row ``h`` is *bit-identical* to the per-head call (the
+        seed feeds DIPRS pruning decisions, where a ULP-level difference could
+        flip a boundary node between modes).  Returns ``(num_query_heads,)``;
+        ``-inf`` rows for an empty window.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        num_heads = queries.shape[0]
+        if positions.shape[0] == 0:
+            return np.full(num_heads, -np.inf, dtype=np.float32)
+        keys = np.asarray(keys, dtype=np.float32)
+        num_kv_heads = keys.shape[0]
+        gqa_group_size = num_heads // num_kv_heads
+        scores = np.empty(num_heads, dtype=np.float32)
+        for kv_head in range(num_kv_heads):
+            window_keys = keys[kv_head][positions]
+            for head in range(kv_head * gqa_group_size, (kv_head + 1) * gqa_group_size):
+                scores[head] = (window_keys @ queries[head]).max()
+        return scores

@@ -84,6 +84,10 @@ class CoarseBlockIndex(VectorIndex):
             block_ids.extend([block_id] * rep_matrix.shape[0])
         self._representative_matrix = np.concatenate(representatives, axis=0)
         self._representative_block_ids = np.asarray(block_ids, dtype=np.int64)
+        counts = np.asarray([rep.shape[0] for rep in representatives], dtype=np.int64)
+        self._representative_offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        self._block_starts = np.asarray([block.start for block in self._blocks], dtype=np.int64)
+        self._block_stops = np.asarray([block.stop for block in self._blocks], dtype=np.int64)
 
     # ------------------------------------------------------------------
     # accessors
@@ -108,15 +112,45 @@ class CoarseBlockIndex(VectorIndex):
     # search
     # ------------------------------------------------------------------
     def search_blocks(self, query: np.ndarray, num_blocks: int) -> list[BlockSummary]:
-        """Return the ``num_blocks`` most relevant blocks for ``query``."""
+        """Return the ``num_blocks`` most relevant blocks for ``query``.
+
+        Delegates to the batched selection so the single-query and batched
+        paths share one top-k algorithm (identical tie-breaking included).
+        """
         vectors = self._require_built()
         query = validate_query(query, vectors.shape[1])
-        scores = self._representative_matrix @ query
-        block_scores = np.full(self.num_blocks, -np.inf, dtype=np.float32)
-        np.maximum.at(block_scores, self._representative_block_ids, scores)
-        num_blocks = min(num_blocks, self.num_blocks)
-        top = np.argsort(-block_scores)[:num_blocks]
+        top = self._top_block_ids_batch(query[None, :], num_blocks)[0]
         return [self._blocks[int(b)] for b in top]
+
+    def search_blocks_batch(self, queries: np.ndarray, num_blocks: int) -> list[list[BlockSummary]]:
+        """Top blocks for a batch of queries sharing one representative scan.
+
+        ``queries`` is ``(g, dim)``; the query-to-representative inner
+        products come from a single matmul instead of ``g`` separate scans,
+        and the per-block reduction/top-k runs once over the whole batch.
+        Row ``i`` of the result matches ``search_blocks`` on ``queries[i]``.
+        """
+        top = self._top_block_ids_batch(queries, num_blocks)
+        return [[self._blocks[int(b)] for b in row] for row in top]
+
+    def _top_block_ids_batch(self, queries: np.ndarray, num_blocks: int) -> np.ndarray:
+        """Block ids of the top blocks per query, ``(g, num_blocks)``, batched."""
+        vectors = self._require_built()
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != vectors.shape[1]:
+            raise ValueError(
+                f"expected queries of shape (g, {vectors.shape[1]}), got {queries.shape}"
+            )
+        scores = queries @ self._representative_matrix.T
+        block_scores = np.maximum.reduceat(scores, self._representative_offsets, axis=1)
+        num_blocks = min(num_blocks, self.num_blocks)
+        if num_blocks >= self.num_blocks:
+            top = np.argsort(-block_scores, axis=1)
+        else:
+            top = np.argpartition(-block_scores, num_blocks - 1, axis=1)[:, :num_blocks]
+            order = np.argsort(np.take_along_axis(-block_scores, top, axis=1), axis=1)
+            top = np.take_along_axis(top, order, axis=1)
+        return top[:, :num_blocks]
 
     def search_topk(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
         """Token-level top-k limited to the most relevant blocks.
@@ -141,7 +175,25 @@ class CoarseBlockIndex(VectorIndex):
 
     def selected_positions(self, query: np.ndarray, num_blocks: int) -> np.ndarray:
         """All token positions of the top ``num_blocks`` blocks (InfLLM's retrieval)."""
-        blocks = self.search_blocks(query, num_blocks)
+        return self._block_positions(self.search_blocks(query, num_blocks))
+
+    def selected_positions_batch(self, queries: np.ndarray, num_blocks: int) -> list[np.ndarray]:
+        """Per-query selected positions with one shared representative scan."""
+        top = self._top_block_ids_batch(queries, num_blocks)
+        return [self._block_range_positions(row) for row in top]
+
+    def _block_range_positions(self, block_ids: np.ndarray) -> np.ndarray:
+        if block_ids.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [
+                np.arange(self._block_starts[b], self._block_stops[b])
+                for b in block_ids
+            ]
+        ).astype(np.int64)
+
+    @staticmethod
+    def _block_positions(blocks: list[BlockSummary]) -> np.ndarray:
         if not blocks:
             return np.empty(0, dtype=np.int64)
         return np.concatenate([np.arange(b.start, b.stop) for b in blocks]).astype(np.int64)

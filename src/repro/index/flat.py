@@ -33,13 +33,8 @@ class FlatIndex(VectorIndex):
             return
         self._vectors = np.concatenate([self._vectors, vectors], axis=0)
 
-    def search_topk(self, query: np.ndarray, k: int, allowed: np.ndarray | None = None, **kwargs) -> SearchResult:
-        """Exact top-k by full scan.  ``allowed`` optionally masks positions."""
-        vectors = self._require_built()
-        query = validate_query(query, vectors.shape[1])
-        scores = vectors @ query
-        if allowed is not None:
-            scores = np.where(allowed, scores, -np.inf)
+    def _topk_result(self, scores: np.ndarray, k: int) -> SearchResult:
+        """Top-k result from one query's (possibly masked) score vector."""
         k = min(k, scores.shape[0])
         order = np.argpartition(-scores, k - 1)[:k]
         order = order[np.argsort(-scores[order])]
@@ -48,8 +43,60 @@ class FlatIndex(VectorIndex):
         return SearchResult(
             indices=order.astype(np.int64),
             scores=scores[order].astype(np.float32),
-            num_distance_computations=int(vectors.shape[0]),
+            num_distance_computations=int(scores.shape[0]),
         )
+
+    def _range_result(self, scores: np.ndarray, beta: float) -> SearchResult:
+        """DIPR result from one query's (possibly masked) score vector."""
+        if not np.isfinite(scores).any():
+            return SearchResult(
+                indices=np.empty(0, dtype=np.int64),
+                scores=np.empty(0, dtype=np.float32),
+                num_distance_computations=int(scores.shape[0]),
+            )
+        threshold = scores.max() - beta
+        selected = np.flatnonzero(scores >= threshold)
+        order = selected[np.argsort(-scores[selected])]
+        return SearchResult(
+            indices=order.astype(np.int64),
+            scores=scores[order].astype(np.float32),
+            num_distance_computations=int(scores.shape[0]),
+        )
+
+    def _batch_scores(self, queries: np.ndarray, allowed: np.ndarray | None) -> np.ndarray:
+        """Score matrix ``(g, n)`` of a query batch, via one shared scan."""
+        vectors = self._require_built()
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != vectors.shape[1]:
+            raise ValueError(
+                f"expected queries of shape (g, {vectors.shape[1]}), got {queries.shape}"
+            )
+        scores = queries @ vectors.T
+        if allowed is not None:
+            scores = np.where(allowed[None, :], scores, -np.inf)
+        return scores
+
+    def search_topk(self, query: np.ndarray, k: int, allowed: np.ndarray | None = None, **kwargs) -> SearchResult:
+        """Exact top-k by full scan.  ``allowed`` optionally masks positions."""
+        vectors = self._require_built()
+        query = validate_query(query, vectors.shape[1])
+        scores = vectors @ query
+        if allowed is not None:
+            scores = np.where(allowed, scores, -np.inf)
+        return self._topk_result(scores, k)
+
+    def search_topk_batch(
+        self, queries: np.ndarray, k: int, allowed: np.ndarray | None = None
+    ) -> list[SearchResult]:
+        """Exact top-k for a batch of queries sharing a single scan.
+
+        ``queries`` is ``(g, dim)`` — e.g. the query heads of one GQA group —
+        and the score matrix comes from one ``(g, d) @ (d, n)`` matmul instead
+        of ``g`` separate scans.  Result ``i`` matches ``search_topk`` on row
+        ``i``; ``num_distance_computations`` still counts the per-query scan.
+        """
+        scores = self._batch_scores(queries, allowed)
+        return [self._topk_result(row, k) for row in scores]
 
     def search_range(
         self, query: np.ndarray, beta: float, allowed: np.ndarray | None = None
@@ -65,17 +112,15 @@ class FlatIndex(VectorIndex):
         scores = vectors @ query
         if allowed is not None:
             scores = np.where(allowed, scores, -np.inf)
-        if not np.isfinite(scores).any():
-            return SearchResult(
-                indices=np.empty(0, dtype=np.int64),
-                scores=np.empty(0, dtype=np.float32),
-                num_distance_computations=int(vectors.shape[0]),
-            )
-        threshold = scores.max() - beta
-        selected = np.flatnonzero(scores >= threshold)
-        order = selected[np.argsort(-scores[selected])]
-        return SearchResult(
-            indices=order.astype(np.int64),
-            scores=scores[order].astype(np.float32),
-            num_distance_computations=int(vectors.shape[0]),
-        )
+        return self._range_result(scores, beta)
+
+    def search_range_batch(
+        self, queries: np.ndarray, beta: float, allowed: np.ndarray | None = None
+    ) -> list[SearchResult]:
+        """Exact DIPR for a batch of queries sharing a single scan.
+
+        The batched sibling of :meth:`search_range` (see
+        :meth:`search_topk_batch` for the sharing scheme).
+        """
+        scores = self._batch_scores(queries, allowed)
+        return [self._range_result(row, beta) for row in scores]

@@ -40,6 +40,58 @@ class DIPRSearchStats:
     num_pruned: int = 0
 
 
+def append_hop_candidates(
+    nodes: np.ndarray,
+    scores: np.ndarray,
+    *,
+    beta: float,
+    capacity_threshold: int,
+    allowed: np.ndarray | None,
+    candidate_ids: list[int],
+    candidate_scores: list[float],
+    best_score: float,
+    stats: DIPRSearchStats,
+) -> float:
+    """Append one hop's freshly scored nodes against the running threshold.
+
+    Vectorized equivalent of calling the scalar ``try_append`` on each
+    ``(node, score)`` pair in order: element ``i`` is checked against the
+    best-so-far score produced by elements ``< i`` (carried by a prefix
+    cummax instead of a Python loop), and the capacity grant covers exactly
+    the slots left open when the hop starts.  Disallowed nodes are scored for
+    connectivity but may neither join the candidate list nor raise the
+    best-so-far maximum — the DIPR maximum is defined over the allowed tokens
+    only.  Returns the updated best-so-far score.
+    """
+    stats.num_distance_computations += int(nodes.shape[0])
+    if allowed is not None:
+        keep = allowed[nodes]
+        num_disallowed = int(nodes.shape[0] - keep.sum())
+        if num_disallowed:
+            stats.num_pruned += num_disallowed
+            nodes = nodes[keep]
+            scores = scores[keep]
+    if nodes.shape[0] == 0:
+        return best_score
+    scores64 = scores.astype(np.float64)
+    # best-so-far visible to element i = max(incoming best, max(scores[:i]))
+    prefix_best = np.empty(scores64.shape[0], dtype=np.float64)
+    prefix_best[0] = best_score
+    if scores64.shape[0] > 1:
+        np.maximum(best_score, np.maximum.accumulate(scores64[:-1]), out=prefix_best[1:])
+    free_slots = max(0, capacity_threshold - len(candidate_ids))
+    below_capacity = np.arange(scores64.shape[0]) < free_slots
+    critical = scores64 >= prefix_best - beta
+    append = below_capacity | critical
+    num_appended = int(append.sum())
+    stats.num_appended += num_appended
+    stats.num_pruned += int(nodes.shape[0] - num_appended)
+    if num_appended:
+        candidate_ids.extend(int(node) for node in nodes[append])
+        candidate_scores.extend(float(score) for score in scores[append])
+    return max(best_score, float(scores64.max()))
+
+
 def exact_dipr(vectors: np.ndarray, query: np.ndarray, beta: float, allowed: np.ndarray | None = None) -> SearchResult:
     """Ground-truth DIPR by full scan (the flat-index execution path)."""
     vectors = np.asarray(vectors, dtype=np.float32)
@@ -93,8 +145,9 @@ def diprs_search(
         threshold.
     allowed:
         Optional boolean mask; disallowed nodes are explored for connectivity
-        but never appended (see :mod:`repro.query.filtered` for 2-hop
-        filtering built on top of this).
+        but never appended and never raise the best-so-far maximum — the DIPR
+        threshold is defined over the allowed tokens only (see
+        :mod:`repro.query.filtered` for 2-hop filtering built on top of this).
     max_tokens:
         Optional hard cap on the number of returned tokens (a safety valve the
         execution engine uses to bound worst-case latency).
@@ -111,26 +164,25 @@ def diprs_search(
     candidate_scores: list[float] = []
     best_score = -np.inf if window_max_score is None else float(window_max_score)
 
-    def try_append(node: int, score: float) -> None:
-        nonlocal best_score
-        stats.num_distance_computations += 1
-        below_capacity = len(candidate_ids) < capacity_threshold
-        critical = score >= best_score - beta
-        if below_capacity or critical:
-            if allowed is None or allowed[node]:
-                candidate_ids.append(node)
-                candidate_scores.append(score)
-                stats.num_appended += 1
-            best_score = max(best_score, score)
-        else:
-            stats.num_pruned += 1
-
+    fresh_entries = []
     for entry in entry_points:
         entry = int(entry)
-        if visited[entry]:
-            continue
-        visited[entry] = True
-        try_append(entry, float(vectors[entry] @ query))
+        if not visited[entry]:
+            visited[entry] = True
+            fresh_entries.append(entry)
+    if fresh_entries:
+        entry_nodes = np.asarray(fresh_entries, dtype=np.int64)
+        best_score = append_hop_candidates(
+            entry_nodes,
+            vectors[entry_nodes] @ query,
+            beta=beta,
+            capacity_threshold=capacity_threshold,
+            allowed=allowed,
+            candidate_ids=candidate_ids,
+            candidate_scores=candidate_scores,
+            best_score=best_score,
+            stats=stats,
+        )
 
     cursor = 0
     while cursor < len(candidate_ids):
@@ -142,9 +194,17 @@ def diprs_search(
         if fresh.shape[0] == 0:
             continue
         visited[fresh] = True
-        scores = vectors[fresh] @ query
-        for neighbor, score in zip(fresh, scores):
-            try_append(int(neighbor), float(score))
+        best_score = append_hop_candidates(
+            fresh,
+            vectors[fresh] @ query,
+            beta=beta,
+            capacity_threshold=capacity_threshold,
+            allowed=allowed,
+            candidate_ids=candidate_ids,
+            candidate_scores=candidate_scores,
+            best_score=best_score,
+            stats=stats,
+        )
 
     indices = np.asarray(candidate_ids, dtype=np.int64)
     scores = np.asarray(candidate_scores, dtype=np.float32)

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..index.base import SearchResult
 from ..index.graph import NeighborGraph
-from .dipr import DIPRSearchStats
+from .dipr import DIPRSearchStats, append_hop_candidates
 from .types import FilterPredicate
 
 __all__ = ["predicate_mask", "filtered_diprs_search", "naive_filtered_diprs_search"]
@@ -69,40 +69,39 @@ def filtered_diprs_search(
     candidate_scores: list[float] = []
     best_score = -np.inf if window_max_score is None else float(window_max_score)
 
-    def try_append(node: int, score: float) -> None:
+    def append_batch(nodes: np.ndarray) -> None:
+        # filtered-out tokens may not become candidates nor set the max: the
+        # DIPR maximum is defined over the *reusable* tokens only.
         nonlocal best_score
-        stats.num_distance_computations += 1
-        if not allowed[node]:
-            # filtered-out tokens may not become candidates nor set the max:
-            # the DIPR maximum is defined over the *reusable* tokens only.
-            stats.num_pruned += 1
-            return
-        below_capacity = len(candidate_ids) < capacity_threshold
-        critical = score >= best_score - beta
-        if below_capacity or critical:
-            candidate_ids.append(node)
-            candidate_scores.append(score)
-            stats.num_appended += 1
-            best_score = max(best_score, score)
-        else:
-            stats.num_pruned += 1
+        best_score = append_hop_candidates(
+            nodes,
+            vectors[nodes] @ query,
+            beta=beta,
+            capacity_threshold=capacity_threshold,
+            allowed=allowed,
+            candidate_ids=candidate_ids,
+            candidate_scores=candidate_scores,
+            best_score=best_score,
+            stats=stats,
+        )
 
     entry_points = np.atleast_1d(np.asarray(entry_points, dtype=np.int64))
+    fresh_entries = []
     for entry in entry_points:
         entry = int(entry)
-        if visited[entry]:
-            continue
-        visited[entry] = True
-        try_append(entry, float(vectors[entry] @ query))
+        if not visited[entry]:
+            visited[entry] = True
+            fresh_entries.append(entry)
+    if fresh_entries:
+        append_batch(np.asarray(fresh_entries, dtype=np.int64))
     if not candidate_ids:
         # every entry point was filtered out: fall back to the first allowed
         # positions so the traversal has somewhere to start.
         seeds = np.flatnonzero(allowed)[: max(1, capacity_threshold // 4)]
-        for seed in seeds:
-            seed = int(seed)
-            if not visited[seed]:
-                visited[seed] = True
-                try_append(seed, float(vectors[seed] @ query))
+        seeds = seeds[~visited[seeds]]
+        if seeds.shape[0]:
+            visited[seeds] = True
+            append_batch(seeds)
 
     cursor = 0
     while cursor < len(candidate_ids):
@@ -114,9 +113,7 @@ def filtered_diprs_search(
         if fresh.shape[0] == 0:
             continue
         visited[fresh] = True
-        scores = vectors[fresh] @ query
-        for neighbor, score in zip(fresh, scores):
-            try_append(int(neighbor), float(score))
+        append_batch(fresh)
 
     indices = np.asarray(candidate_ids, dtype=np.int64)
     scores = np.asarray(candidate_scores, dtype=np.float32)

@@ -71,6 +71,21 @@ class TestWindowCache:
         assert window.max_window_score(query, keys, positions) == pytest.approx(3.0)
         assert window.max_window_score(query, keys, np.empty(0, dtype=np.int64)) == float("-inf")
 
+    def test_max_window_scores_batches_all_heads(self):
+        window = WindowCache(4, 4)
+        rng = np.random.default_rng(3)
+        num_kv_heads, group_size, n, dim = 2, 3, 30, 8
+        keys = rng.normal(size=(num_kv_heads, n, dim)).astype(np.float32)
+        queries = rng.normal(size=(num_kv_heads * group_size, dim)).astype(np.float32)
+        positions = window.positions(n)
+        batched = window.max_window_scores(queries, keys, positions)
+        assert batched.shape == (num_kv_heads * group_size,)
+        for head in range(queries.shape[0]):
+            expected = window.max_window_score(queries[head], keys[head // group_size], positions)
+            assert batched[head] == pytest.approx(expected)
+        empty = window.max_window_scores(queries, keys, np.empty(0, dtype=np.int64))
+        assert np.all(np.isneginf(empty))
+
 
 class TestAttentionEngine:
     def test_merged_output_matches_exact(self):
@@ -243,6 +258,41 @@ class TestOptimizer:
         assert plans[0].index_kind == IndexKind.FLAT
         assert plans[3].index_kind == IndexKind.FINE
 
+    def test_plan_all_layers_carries_every_field(self):
+        # per-layer contexts are dataclasses.replace copies: non-layer fields
+        # (here the partial-reuse prefix driving the predicate) must survive
+        optimizer = RuleBasedOptimizer()
+        plans = optimizer.plan_all_layers(
+            self._query_context(num_layers=3, gpu_memory_budget_bytes=1, reused_prefix_length=40_000)
+        )
+        for plan in plans.values():
+            assert plan.predicate is not None
+            assert plan.predicate.max_position == 40_000
+
+    def test_zero_kv_bytes_derives_bytes_from_model_shape(self):
+        # 100k tokens x (2 * 8 kv heads * 128 dim * 4 bytes * 32 layers) =
+        # ~13 GB of KV: far beyond a 2 GiB budget, so the unset field must
+        # route to DIPR instead of degenerating to 1 byte/token (which made
+        # every context look within budget and DIPR unreachable)
+        optimizer = RuleBasedOptimizer()
+        plan = optimizer.plan(
+            self._query_context(kv_bytes_per_token=0, gpu_memory_budget_bytes=2 * 2**30)
+        )
+        assert plan.query_kind == QueryKind.DIPR
+
+    def test_zero_kv_bytes_matches_explicit_model_bytes(self):
+        optimizer = RuleBasedOptimizer()
+        explicit_bytes = 2 * 8 * 128 * 4 * 32  # matches _query_context's shape
+        for budget in (2 * 2**30, 10**15):
+            derived = optimizer.plan(
+                self._query_context(kv_bytes_per_token=0, gpu_memory_budget_bytes=budget)
+            )
+            explicit = optimizer.plan(
+                self._query_context(kv_bytes_per_token=explicit_bytes, gpu_memory_budget_bytes=budget)
+            )
+            assert derived.query_kind == explicit.query_kind
+            assert derived.index_kind == explicit.index_kind
+
     def test_custom_rule_takes_priority(self):
         optimizer = RuleBasedOptimizer()
         sentinel = ExecutionPlan(query_kind=QueryKind.FULL, index_kind=None)
@@ -307,5 +357,30 @@ class TestPlanExecutor:
     def test_query_head_maps_to_kv_head(self):
         data, _ = self._layer_data()
         assert data.kv_head_for_query_head(0) == 0
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            ExecutionPlan(QueryKind.DIPR, IndexKind.FLAT, query=DIPRQuery(beta=5.0)),
+            ExecutionPlan(QueryKind.TOP_K, IndexKind.FLAT, query=TopKQuery(k=12)),
+            ExecutionPlan(QueryKind.DIPR, IndexKind.FINE, query=DIPRQuery(beta=5.0)),
+            ExecutionPlan(QueryKind.TOP_K, IndexKind.COARSE, query=TopKQuery(k=10)),
+        ],
+        ids=["flat-dipr", "flat-topk", "fine-dipr", "coarse-topk"],
+    )
+    def test_retrieve_heads_matches_per_head_retrieve(self, plan):
+        data, _ = self._layer_data()
+        batched_data, _ = self._layer_data()
+        executor = PlanExecutor(coarse_num_blocks=2)
+        rng = np.random.default_rng(7)
+        queries = rng.normal(size=(4, 16)).astype(np.float32)
+        seeds = np.full(4, -np.inf, dtype=np.float32)
+        outcomes = executor.retrieve_heads(plan, batched_data, queries, window_max_scores=seeds)
+        assert len(outcomes) == 4
+        for head in range(4):
+            expected = executor.retrieve(plan, data, head, queries[head], window_max_score=float(seeds[head]))
+            np.testing.assert_array_equal(outcomes[head].positions, expected.positions)
+            np.testing.assert_allclose(outcomes[head].scores, expected.scores, atol=1e-5)
+            assert outcomes[head].num_distance_computations == expected.num_distance_computations
         assert data.kv_head_for_query_head(3) == 1
         assert data.fine_index_for_query_head(0) is data.fine_index_for_query_head(1)

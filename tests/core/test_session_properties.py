@@ -9,7 +9,10 @@ accounting never loses tokens.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,6 +20,9 @@ from repro.core.attention_engine import DataCentricAttentionEngine
 from repro.core.config import AlayaDBConfig
 from repro.core.context_store import ContextStore, StoredContext
 from repro.core.session import Session
+from repro.index.builder import LayerIndexes
+from repro.index.coarse import CoarseBlockIndex
+from repro.index.roargraph import RoarGraphIndex
 from repro.kvcache.serialization import KVSnapshot
 from repro.llm.attention import decode_attention
 
@@ -45,6 +51,164 @@ def test_head_output_is_exact_over_attended_union(num_tokens, num_window, num_re
         return
     expected = decode_attention(query[None, :], keys[None, attended], values[None, attended])[0]
     np.testing.assert_allclose(output, expected, atol=1e-4)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    num_tokens=st.integers(min_value=4, max_value=48),
+    num_kv_heads=st.sampled_from([1, 2]),
+    group_size=st.sampled_from([1, 2, 4]),
+    num_window=st.integers(min_value=0, max_value=12),
+    num_local=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_layer_output_matches_per_head_output(num_tokens, num_kv_heads, group_size, num_window, num_local, seed):
+    """The batched layer merge equals head_output head by head, ragged sets included."""
+    rng = np.random.default_rng(seed)
+    dim = 8
+    num_heads = num_kv_heads * group_size
+    keys = rng.normal(size=(num_kv_heads, num_tokens, dim)).astype(np.float32)
+    values = rng.normal(size=(num_kv_heads, num_tokens, dim)).astype(np.float32)
+    queries = rng.normal(size=(num_heads, dim)).astype(np.float32)
+    window = rng.choice(num_tokens, size=min(num_window, num_tokens), replace=False).astype(np.int64)
+    retrieved = [
+        rng.choice(num_tokens, size=rng.integers(0, num_tokens + 1), replace=False).astype(np.int64)
+        for _ in range(num_heads)
+    ]
+    local_keys = local_values = None
+    if num_local:
+        local_keys = rng.normal(size=(num_kv_heads, num_local, dim)).astype(np.float32)
+        local_values = rng.normal(size=(num_kv_heads, num_local, dim)).astype(np.float32)
+
+    engine = DataCentricAttentionEngine()
+    batched, breakdowns = engine.layer_output(
+        queries, keys, values, window, retrieved, local_keys=local_keys, local_values=local_values
+    )
+    for head in range(num_heads):
+        kv_head = head // group_size
+        expected, expected_breakdown = engine.head_output(
+            queries[head],
+            keys[kv_head],
+            values[kv_head],
+            window_positions=window,
+            retrieved_positions=retrieved[head],
+            local_keys=local_keys[kv_head] if local_keys is not None else None,
+            local_values=local_values[kv_head] if local_values is not None else None,
+        )
+        np.testing.assert_allclose(batched[head], expected, atol=1e-4)
+        assert breakdowns[head].num_window_tokens == expected_breakdown.num_window_tokens
+        assert breakdowns[head].num_retrieved_tokens == expected_breakdown.num_retrieved_tokens
+        assert breakdowns[head].num_local_tokens == expected_breakdown.num_local_tokens
+
+
+def _sparse_context(rng, *, num_kv_heads, num_tokens, head_dim, group_size, kinds=("fine", "coarse")):
+    """A stored context with fine + coarse indexes over random keys."""
+    keys = rng.normal(size=(num_kv_heads, num_tokens, head_dim)).astype(np.float32)
+    values = rng.normal(size=(num_kv_heads, num_tokens, head_dim)).astype(np.float32)
+    snapshot = KVSnapshot(tokens=list(range(num_tokens)), keys={0: keys}, values={0: values})
+    context = StoredContext(context_id="sparse", snapshot=snapshot)
+    if "fine" in kinds:
+        indexes = []
+        for kv_head in range(num_kv_heads):
+            index = RoarGraphIndex()
+            index.build(
+                keys[kv_head],
+                query_sample=rng.normal(size=(64, head_dim)).astype(np.float32),
+            )
+            indexes.append(index)
+        context.fine_indexes[0] = LayerIndexes(
+            layer=0, indexes=indexes, shared=True, gqa_group_size=group_size
+        )
+    if "coarse" in kinds:
+        coarse = []
+        for kv_head in range(num_kv_heads):
+            index = CoarseBlockIndex(block_size=16)
+            index.build(keys[kv_head])
+            coarse.append(index)
+        context.coarse_indexes[0] = coarse
+    return context
+
+
+_PLAN_CONFIGS = {
+    # layer 0 is in flat_index_layers by default -> DIPR over the flat index
+    "flat": dict(gpu_memory_budget_bytes=1),
+    # empty flat_index_layers -> DIPR over the fine (RoarGraph) index
+    "fine": dict(gpu_memory_budget_bytes=1, flat_index_layers=()),
+    # huge budget -> top-k over the coarse block index
+    "coarse": dict(gpu_memory_budget_bytes=10**18, topk_k=24, coarse_num_blocks=3),
+    # threshold above any test context -> exact full attention (sanity row)
+    "full": dict(short_context_threshold=100_000),
+}
+
+_VARIANTS = {
+    "plain": dict(),
+    "gqa4": dict(group_size=4),
+    "empty-window": dict(window=(0, 0)),
+    "no-local": dict(local_steps=0),
+    "partial-reuse": dict(reuse_offset=40),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(_VARIANTS))
+@pytest.mark.parametrize("plan_kind", sorted(_PLAN_CONFIGS))
+def test_head_batched_decode_matches_per_head_path(plan_kind, variant):
+    """sparse_head_batching=True must be output- and stats-identical to the fallback."""
+    options = _VARIANTS[variant]
+    group_size = options.get("group_size", 2)
+    window_initial, window_last = options.get("window", (4, 8))
+    local_steps = options.get("local_steps", 2)
+    reuse_offset = options.get("reuse_offset", 0)
+    num_kv_heads, head_dim, num_tokens = 2, 8, 160
+    num_heads = num_kv_heads * group_size
+
+    config_kwargs = dict(
+        window_initial_tokens=window_initial,
+        window_last_tokens=window_last,
+        short_context_threshold=16,
+        dipr_capacity_threshold=32,
+    )
+    config_kwargs.update(_PLAN_CONFIGS[plan_kind])
+    config = AlayaDBConfig(**config_kwargs)
+    # stable per-combo seed (builtin hash() is randomized per process)
+    rng = np.random.default_rng(sum(ord(c) * i for i, c in enumerate(plan_kind + "/" + variant, start=1)))
+    context = _sparse_context(
+        rng,
+        num_kv_heads=num_kv_heads,
+        num_tokens=num_tokens,
+        head_dim=head_dim,
+        group_size=group_size,
+    )
+
+    def run(batched: bool):
+        session = Session(
+            replace(config, sparse_head_batching=batched),
+            context=context,
+            reused_prefix_length=num_tokens - reuse_offset,
+            num_layers=1,
+        )
+        step_rng = np.random.default_rng(9000)
+        outputs = []
+        for _ in range(local_steps + 1):
+            q = step_rng.normal(size=(num_heads, 1, head_dim)).astype(np.float32)
+            k = step_rng.normal(size=(num_kv_heads, 1, head_dim)).astype(np.float32)
+            v = step_rng.normal(size=(num_kv_heads, 1, head_dim)).astype(np.float32)
+            session.update_query(q, k, v, layer=0)
+            outputs.append(session.attention(q, layer=0))
+        return outputs, session.last_decode_stats, session.plan_for_layer(0)
+
+    batched_outputs, batched_stats, plan = run(batched=True)
+    per_head_outputs, per_head_stats, fallback_plan = run(batched=False)
+
+    assert plan.query_kind == fallback_plan.query_kind
+    if plan_kind != "full":
+        assert not plan.is_full_attention
+    for batched_output, per_head_output in zip(batched_outputs, per_head_outputs):
+        np.testing.assert_allclose(batched_output, per_head_output, atol=1e-4)
+    assert batched_stats.num_selected_tokens == per_head_stats.num_selected_tokens
+    assert batched_stats.num_distance_computations == per_head_stats.num_distance_computations
+    assert batched_stats.num_window_tokens == per_head_stats.num_window_tokens
+    assert batched_stats.num_local_tokens == per_head_stats.num_local_tokens
+    assert batched_stats.num_heads == per_head_stats.num_heads
 
 
 @settings(deadline=None, max_examples=20)

@@ -103,6 +103,29 @@ class TestFlatIndex:
         expected = np.flatnonzero(scores >= scores.max() - beta)
         assert set(result.indices.tolist()) == set(expected.tolist())
 
+    def test_batch_searches_match_per_query(self):
+        vectors = _vectors()
+        index = FlatIndex()
+        index.build(vectors)
+        rng = np.random.default_rng(5)
+        queries = rng.normal(size=(4, 16)).astype(np.float32)
+        allowed = np.arange(vectors.shape[0]) < vectors.shape[0] // 2
+        for masked in (None, allowed):
+            range_results = index.search_range_batch(queries, 2.0, allowed=masked)
+            topk_results = index.search_topk_batch(queries, 10, allowed=masked)
+            for i, query in enumerate(queries):
+                expected_range = index.search_range(query, 2.0, allowed=masked)
+                np.testing.assert_array_equal(range_results[i].indices, expected_range.indices)
+                assert range_results[i].num_distance_computations == vectors.shape[0]
+                expected_topk = index.search_topk(query, 10, allowed=masked)
+                np.testing.assert_array_equal(topk_results[i].indices, expected_topk.indices)
+
+    def test_batch_rejects_bad_shape(self):
+        index = FlatIndex()
+        index.build(_vectors())
+        with pytest.raises(ValueError):
+            index.search_range_batch(np.zeros((2, 3), dtype=np.float32), 1.0)
+
     def test_allowed_mask_restricts_results(self):
         vectors = _vectors(100)
         index = FlatIndex()
@@ -210,6 +233,15 @@ class TestCoarseIndex:
         query = np.random.default_rng(6).normal(size=16).astype(np.float32)
         positions = index.selected_positions(query, 2)
         assert positions.shape[0] == 50
+
+    def test_batch_selected_positions_match_per_query(self):
+        index = CoarseBlockIndex(block_size=25)
+        index.build(_vectors(100))
+        queries = np.random.default_rng(7).normal(size=(5, 16)).astype(np.float32)
+        batched = index.selected_positions_batch(queries, 2)
+        assert len(batched) == 5
+        for i, query in enumerate(queries):
+            np.testing.assert_array_equal(batched[i], index.selected_positions(query, 2))
 
     def test_topk_covers_best_token_when_block_found(self):
         vectors = _vectors(256)

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.index.flat import FlatIndex
 from repro.index.roargraph import RoarGraphIndex
-from repro.query.dipr import diprs_search, exact_dipr
+from repro.query.dipr import DIPRSearchStats, diprs_search, exact_dipr
 from repro.query.filtered import filtered_diprs_search, naive_filtered_diprs_search, predicate_mask
 from repro.query.topk import flat_topk_search, graph_topk_search
 from repro.query.types import (
@@ -139,6 +139,229 @@ class TestDIPRS:
             result, _ = diprs_search(keys, index.graph, query, 15.0, [index.entry_point], capacity_threshold=128)
             sizes.append(len(result))
         assert sizes[1] > sizes[0]
+
+
+def _decoy_setup(seed=11, n=600, dim=16, beta=6.0):
+    """Keys where the *dominant* cluster is disallowed and a moderate one is allowed.
+
+    The decoy cluster (positions >= 500) scores far above the allowed critical
+    cluster — ``max_disallowed - beta > max_allowed`` — so any search that
+    lets disallowed nodes set the DIPR threshold prunes every valid result.
+    """
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(0.0, 0.35, size=(n, dim)).astype(np.float32)
+    direction = rng.normal(size=dim)
+    direction /= np.linalg.norm(direction)
+    cluster = rng.choice(500, size=30, replace=False)
+    keys[cluster] += (4.0 * direction).astype(np.float32)
+    decoys = np.arange(500, n)
+    keys[decoys] += (6.0 * direction).astype(np.float32)
+    query = (direction * np.sqrt(dim)).astype(np.float32)
+    queries = (
+        direction[None, :] * np.sqrt(dim) + rng.normal(0, 0.8, size=(300, dim))
+    ).astype(np.float32)
+    allowed = np.zeros(n, dtype=bool)
+    allowed[:500] = True
+    index = RoarGraphIndex()
+    index.build(keys, query_sample=queries)
+    entry_points = np.flatnonzero(allowed)[:8].tolist()
+    return keys, query, index, allowed, entry_points, beta
+
+
+def _legacy_masked_diprs(vectors, graph, query, beta, entry_points, capacity_threshold, allowed):
+    """The pre-fix ``diprs_search`` masking semantics, kept as the regression foil.
+
+    Disallowed nodes were skipped as candidates but still ran the
+    ``best_score = max(best_score, score)`` update, tightening the final
+    keep-threshold with scores of nodes that can never be returned.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32)
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    candidate_ids: list[int] = []
+    candidate_scores: list[float] = []
+    best_score = -np.inf
+
+    def try_append(node, score):
+        nonlocal best_score
+        if len(candidate_ids) < capacity_threshold or score >= best_score - beta:
+            if allowed[node]:
+                candidate_ids.append(int(node))
+                candidate_scores.append(float(score))
+            best_score = max(best_score, score)
+
+    for entry in entry_points:
+        entry = int(entry)
+        if not visited[entry]:
+            visited[entry] = True
+            try_append(entry, float(vectors[entry] @ query))
+    cursor = 0
+    while cursor < len(candidate_ids):
+        node = candidate_ids[cursor]
+        cursor += 1
+        neighbors = graph.neighbors(int(node))
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.shape[0] == 0:
+            continue
+        visited[fresh] = True
+        for neighbor, score in zip(fresh, vectors[fresh] @ query):
+            try_append(int(neighbor), float(score))
+
+    indices = np.asarray(candidate_ids, dtype=np.int64)
+    scores = np.asarray(candidate_scores, dtype=np.float32)
+    keep = scores >= best_score - beta
+    return indices[keep]
+
+
+def _reference_diprs(
+    vectors,
+    graph,
+    query,
+    beta,
+    entry_points,
+    capacity_threshold=32,
+    window_max_score=None,
+    allowed=None,
+):
+    """Scalar Algorithm-1 reference (correct ``allowed`` semantics).
+
+    Kept as an executable spec for the hop-vectorized ``diprs_search``: one
+    ``try_append`` per explored node, running best-so-far threshold, capacity
+    grant, and disallowed nodes neither appended nor raising the maximum.
+    Hops are scored with the same block matmul as the implementation so the
+    float comparison is bit-identical.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32)
+    stats = DIPRSearchStats()
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    candidate_ids: list[int] = []
+    candidate_scores: list[float] = []
+    best_score = -np.inf if window_max_score is None else float(window_max_score)
+
+    def try_append(node, score):
+        nonlocal best_score
+        stats.num_distance_computations += 1
+        if allowed is not None and not allowed[node]:
+            stats.num_pruned += 1
+            return
+        below_capacity = len(candidate_ids) < capacity_threshold
+        critical = score >= best_score - beta
+        if below_capacity or critical:
+            candidate_ids.append(int(node))
+            candidate_scores.append(float(score))
+            stats.num_appended += 1
+            best_score = max(best_score, score)
+        else:
+            stats.num_pruned += 1
+
+    fresh_entries = []
+    for entry in np.atleast_1d(np.asarray(entry_points, dtype=np.int64)):
+        entry = int(entry)
+        if not visited[entry]:
+            visited[entry] = True
+            fresh_entries.append(entry)
+    if fresh_entries:
+        entry_nodes = np.asarray(fresh_entries, dtype=np.int64)
+        for node, score in zip(entry_nodes, vectors[entry_nodes] @ query):
+            try_append(node, float(score))
+
+    cursor = 0
+    while cursor < len(candidate_ids):
+        node = candidate_ids[cursor]
+        cursor += 1
+        stats.num_hops += 1
+        neighbors = graph.neighbors(int(node))
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.shape[0] == 0:
+            continue
+        visited[fresh] = True
+        for neighbor, score in zip(fresh, vectors[fresh] @ query):
+            try_append(int(neighbor), float(score))
+
+    indices = np.asarray(candidate_ids, dtype=np.int64)
+    scores = np.asarray(candidate_scores, dtype=np.float32)
+    keep = scores >= best_score - beta
+    indices, scores = indices[keep], scores[keep]
+    order = np.argsort(-scores)
+    return indices[order], scores[order], stats
+
+
+class TestDIPRSMaskedThreshold:
+    """Regression: disallowed nodes must not tighten the DIPRS prune threshold.
+
+    ``diprs_search`` used to run the ``best_score = max(...)`` update even for
+    nodes failing the ``allowed`` mask, so the final keep-threshold was defined
+    over tokens that can never be returned and every valid candidate got
+    pruned.  ``filtered_diprs_search`` always had the correct semantics; these
+    tests pin ``diprs_search`` (and through it
+    ``naive_filtered_diprs_search``, the Figure 12 ablation baseline) to it.
+    """
+
+    def test_masked_search_recovers_results_the_old_threshold_pruned(self):
+        keys, query, index, allowed, entries, beta = _decoy_setup()
+        result, _ = diprs_search(
+            keys, index.graph, query, beta, entries,
+            capacity_threshold=128, allowed=allowed,
+        )
+        # the pre-fix semantics prune every valid candidate on this data
+        legacy = _legacy_masked_diprs(
+            keys, index.graph, query, beta, entries,
+            capacity_threshold=128, allowed=allowed,
+        )
+        assert legacy.shape[0] == 0
+        assert len(result) >= 10
+        assert np.all(allowed[result.indices])
+        # the recovered results all sit below the *disallowed* maximum minus
+        # beta: under the old threshold semantics every one of them was pruned
+        decoy_max = float((keys[~allowed] @ query).max())
+        assert float(result.scores.max()) < decoy_max - beta
+        # and they substantially agree with the ground-truth masked DIPR
+        truth = exact_dipr(keys, query, beta, allowed=allowed)
+        recall = len(set(truth.indices.tolist()) & set(result.indices.tolist())) / len(truth)
+        assert recall > 0.4
+
+    def test_results_respect_threshold_over_allowed_tokens_only(self):
+        keys, query, index, allowed, entries, beta = _decoy_setup(seed=12)
+        result, _ = diprs_search(
+            keys, index.graph, query, beta, entries,
+            capacity_threshold=128, allowed=allowed,
+        )
+        assert len(result) > 0
+        assert np.all(result.scores >= result.scores.max() - beta - 1e-4)
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(0, 30),
+        beta=st.floats(min_value=2.0, max_value=20.0),
+        capacity=st.integers(min_value=4, max_value=64),
+        masked=st.booleans(),
+        seeded=st.booleans(),
+    )
+    def test_hop_vectorization_matches_scalar_reference(self, seed, beta, capacity, masked, seeded):
+        """The vectorized hop appends reproduce the scalar loop exactly."""
+        keys, query, queries, _ = _clustered_keys(n=400, num_critical=25, seed=seed)
+        index = RoarGraphIndex()
+        index.build(keys, query_sample=queries[:80])
+        allowed = None
+        if masked:
+            allowed = np.zeros(keys.shape[0], dtype=bool)
+            allowed[: keys.shape[0] // 2] = True
+        window_max = float((keys @ query).max()) * 0.9 if seeded else None
+        result, stats = diprs_search(
+            keys, index.graph, query, beta, [index.entry_point],
+            capacity_threshold=capacity, window_max_score=window_max, allowed=allowed,
+        )
+        ref_indices, ref_scores, ref_stats = _reference_diprs(
+            keys, index.graph, query, beta, [index.entry_point],
+            capacity_threshold=capacity, window_max_score=window_max, allowed=allowed,
+        )
+        np.testing.assert_array_equal(result.indices, ref_indices)
+        np.testing.assert_array_equal(result.scores, ref_scores)
+        assert stats.num_distance_computations == ref_stats.num_distance_computations
+        assert stats.num_hops == ref_stats.num_hops
+        assert stats.num_appended == ref_stats.num_appended
+        assert stats.num_pruned == ref_stats.num_pruned
 
 
 class TestTopKSearch:
