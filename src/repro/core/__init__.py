@@ -4,6 +4,7 @@ from .attention_engine import AttentionBreakdown, DataCentricAttentionEngine
 from .config import AlayaDBConfig
 from .context_store import ContextStore, PrefixMatch, StoredContext
 from .db import DB
+from .handles import ChatSession, ChatTurn, RequestHandle
 from .optimizer import QueryContext, RuleBasedOptimizer
 from .planner import ExecutionPlan, LayerIndexData, PlanExecutor, RetrievalOutcome
 from .service import InferenceService, RequestRecord, ServiceStats
@@ -13,8 +14,11 @@ from .window_cache import WindowCache
 __all__ = [
     "AlayaDBConfig",
     "AttentionBreakdown",
+    "ChatSession",
+    "ChatTurn",
     "ContextStore",
     "DB",
+    "RequestHandle",
     "DataCentricAttentionEngine",
     "DecodeStepStats",
     "InferenceService",

@@ -55,6 +55,8 @@ class StoredContext:
         self._tokens: list[int] = self.snapshot.tokens if self.snapshot is not None else []
         self._spilled_kv_bytes = 0
         self._spilled_num_layers = 0
+        if not self.query_samples and self.snapshot is not None and self.snapshot.query_samples:
+            self.query_samples = dict(self.snapshot.query_samples)
 
     @property
     def is_resident(self) -> bool:
@@ -112,8 +114,9 @@ class StoredContext:
         self._spilled_num_layers = snapshot.num_layers
         self.snapshot = None
         # indexes reference the key arrays; dropping them is what frees the
-        # memory.  Query samples go too — a rebuild after reload falls back to
-        # indexing with the keys themselves (documented in DB).
+        # memory.  Query samples go too — they were persisted inside the
+        # snapshot on disk, so :meth:`restore` brings them back and a rebuild
+        # after reload keeps the OOD query-sample benefit.
         self.fine_indexes = {}
         self.coarse_indexes = {}
         self.query_samples = {}
@@ -122,6 +125,7 @@ class StoredContext:
         """Re-attach a snapshot loaded back from disk."""
         self.snapshot = snapshot
         self._tokens = snapshot.tokens
+        self.query_samples = dict(snapshot.query_samples)
 
 
 @dataclass
@@ -211,7 +215,13 @@ class ContextStore:
         if existing is not None:
             if not overwrite:
                 raise DuplicateContextError(f"context {context_id!r} already stored")
+            # pins are held by id (live sessions unpin on close), so they must
+            # survive the overwrite: dropping them would let a later close()
+            # zero another session's pin and spill a context still in use
+            preserved_pins = self._pins.get(context_id, 0)
             self._forget(existing)
+            if preserved_pins:
+                self._pins[context_id] = preserved_pins
         self._contexts[context_id] = context
         self._trie_insert(context.tokens, context_id)
         if context.is_resident:

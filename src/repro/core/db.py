@@ -82,6 +82,10 @@ class DB:
             return self.tokenizer.encode(prompts)
         return [int(t) for t in np.asarray(prompts).reshape(-1)]
 
+    def tokenize(self, prompts: str | list[int] | np.ndarray) -> list[int]:
+        """Token ids for ``prompts`` (public alias used by the serving API)."""
+        return self._tokenize(prompts)
+
     def _next_context_id(self) -> str:
         return f"ctx-{next(self._context_counter):04d}"
 
@@ -143,8 +147,8 @@ class DB:
     def _context_reloaded(self, context: StoredContext) -> None:
         # indexes were dropped at spill time: the coarse ones are cheap and
         # rebuilt immediately, the fine ones lazily (first sparse use or
-        # build_pending) — the rebuild falls back to indexing with the keys
-        # themselves because query samples are not persisted.  Contexts that
+        # build_pending) — query samples travel inside the persisted snapshot,
+        # so the rebuild keeps the OOD query-sample benefit.  Contexts that
         # opted out of an index class at import time stay index-free.
         if context.wants_coarse_indexes:
             self._build_coarse_indexes(context)
@@ -222,11 +226,14 @@ class DB:
             values = {layer: kv_cache.values(layer).copy() for layer in range(kv_cache.num_layers)}
             snapshot = KVSnapshot(tokens=tokens, keys=keys, values=values)
         snapshot.validate()
+        if query_samples:
+            # attach to the snapshot so spill/reload round-trips the samples
+            snapshot.query_samples = {
+                layer: np.asarray(q, dtype=np.float32) for layer, q in query_samples.items()
+            }
 
         context_id = context_id or self._next_context_id()
         context = StoredContext(context_id=context_id, snapshot=snapshot)
-        if query_samples:
-            context.query_samples = {layer: np.asarray(q, dtype=np.float32) for layer, q in query_samples.items()}
         self._register_context(
             context,
             build_fine_indexes=build_fine_indexes,
@@ -271,14 +278,14 @@ class DB:
             prefix_tokens = session.context.tokens[: session.reused_prefix_length] if session.context else []
             padding = [self.tokenizer.pad_id] * (total_tokens - len(prefix_tokens))
             tokens = list(prefix_tokens) + padding
-        snapshot = KVSnapshot(tokens=list(tokens), keys=keys, values=values)
+        samples = self._merged_query_samples(session)
+        snapshot = KVSnapshot(
+            tokens=list(tokens), keys=keys, values=values, query_samples=samples
+        )
         snapshot.validate()
 
         context_id = context_id or self._next_context_id()
         context = StoredContext(context_id=context_id, snapshot=snapshot)
-        samples = session.query_samples
-        if samples:
-            context.query_samples = samples
         self._register_context(
             context,
             build_fine_indexes=build_fine_indexes,
@@ -287,6 +294,36 @@ class DB:
             overwrite=True,
         )
         return context
+
+    def _merged_query_samples(self, session: Session) -> dict[int, np.ndarray]:
+        """Query samples covering everything a stored session represents.
+
+        A connected session only captured queries for its *locally* computed
+        tokens; the reused prefix's queries live on the stored context it was
+        connected to.  Concatenating both keeps the sample representative of
+        the full transcript when a chat turn re-stores the grown context.
+        """
+        local = {layer: s for layer, s in session.query_samples.items() if s.size}
+        prefix: dict[int, np.ndarray] = {}
+        if session.context is not None and session.reused_prefix_length > 0:
+            prefix = {
+                layer: s for layer, s in session.context.query_samples.items()
+                if s is not None and s.size
+            }
+        merged: dict[int, np.ndarray] = {}
+        for layer in set(prefix) | set(local):
+            parts = [
+                np.asarray(s, dtype=np.float32)
+                for s in (prefix.get(layer), local.get(layer))
+                if s is not None and s.size
+            ]
+            if len(parts) == 2 and (
+                parts[0].shape[0] != parts[1].shape[0]
+                or parts[0].shape[2] != parts[1].shape[2]
+            ):
+                parts = parts[1:]  # incompatible historic sample: keep the fresh one
+            merged[layer] = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+        return merged
 
     def _register_context(
         self,

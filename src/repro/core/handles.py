@@ -1,0 +1,308 @@
+"""Client-facing request handles and multi-turn chat sessions.
+
+This module is the user-visible half of the serving API redesign:
+
+* :class:`RequestHandle` — what :meth:`InferenceService.submit` returns.  It
+  exposes the request's live ``status``, an incremental ``tokens()`` iterator
+  that yields tokens as scheduler steps produce them (driving ``step()`` on
+  demand when nothing else is pumping the scheduler), a blocking ``result()``,
+  and ``cancel()`` — which releases the admission reservation, unpins the
+  session's stored context, and surfaces state ``CANCELLED`` end-to-end.
+
+* :class:`ChatSession` — a multi-turn conversation over one stored context.
+  Every finished turn extends the context (previous transcript + prompt +
+  generated tokens) through ``DB.store``, so the next turn's prefill reuses
+  the whole history's KV through the context store's token-trie prefix match
+  instead of re-prefilling the transcript.
+
+Both types are thin drivers over :class:`InferenceService`; they own no model
+or scheduler state of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import AdmissionRejectedError, RequestCancelledError
+from ..scheduler.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service builds handles)
+    from ..llm.generation import GenerationResult
+    from .service import InferenceService, RequestRecord
+
+__all__ = ["RequestHandle", "ChatTurn", "ChatSession"]
+
+
+class RequestHandle:
+    """A client's view of one submitted request.
+
+    The substrate is single-threaded, so the handle *is* the event loop: when
+    the caller iterates :meth:`tokens` or blocks in :meth:`result` the handle
+    drives ``service.step()`` until the request makes progress.  Code that
+    already pumps the scheduler (``drain()``, another handle) coexists — the
+    handle only steps when its request is not yet terminal.
+    """
+
+    def __init__(self, service: "InferenceService", request: Request):
+        self._service = service
+        self._request = request
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"RequestHandle(request_id={self.request_id}, status={self.status!r})"
+
+    @property
+    def request_id(self) -> int:
+        return self._request.request_id
+
+    @property
+    def request(self) -> Request:
+        """The underlying scheduler request (read-only by convention)."""
+        return self._request
+
+    @property
+    def status(self) -> str:
+        """The request's live :class:`RequestState` string."""
+        return self._request.state
+
+    @property
+    def is_done(self) -> bool:
+        """True once the request reached a terminal state."""
+        return self._request.is_terminal
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def tokens(self) -> Iterator[int]:
+        """Yield generated token ids incrementally, as steps produce them.
+
+        The iterator drives one scheduler round whenever no new tokens are
+        available yet, so a bare ``for token in handle.tokens():`` loop
+        streams a response without any explicit ``drain()``.  The full
+        yielded sequence equals ``result()[0].generated_tokens``.  A request
+        cancelled mid-stream simply stops yielding; rejection and failure
+        raise the same errors :meth:`result` does.
+        """
+        emitted = 0
+        while True:
+            generated = self._service.generated_tokens(self.request_id)
+            while emitted < len(generated):
+                yield generated[emitted]
+                emitted += 1
+            if self._request.state == RequestState.CANCELLED:
+                return
+            if self.is_done:
+                self._raise_if_unservable()
+                # flush tokens recorded between our last snapshot and finish
+                generated = self._service.generated_tokens(self.request_id)
+                while emitted < len(generated):
+                    yield generated[emitted]
+                    emitted += 1
+                return
+            if not self._service.scheduler.has_work:
+                return  # defensive: nothing can ever advance this request
+            self._service.step()
+
+    def __iter__(self) -> Iterator[int]:
+        return self.tokens()
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def result(self) -> tuple["GenerationResult", "RequestRecord"]:
+        """Block (stepping the scheduler) until the request finishes.
+
+        Raises :class:`RequestCancelledError` for a cancelled request,
+        :class:`AdmissionRejectedError` for a rejected one, and
+        :class:`RequestFailedError` when session setup failed mid-round.
+        """
+        while not self.is_done:
+            if not self._service.scheduler.has_work:
+                break
+            self._service.step()
+        self._raise_if_unservable()
+        outcome = self._service.result(self.request_id)
+        if outcome is None:
+            # the request finished but its outcome aged out of the service's
+            # bounded result window — not a cancellation
+            raise LookupError(
+                f"request {self.request_id} finished (state {self.status!r}) but its "
+                f"result was evicted from the service's retained-results window"
+            )
+        return outcome
+
+    def _raise_if_unservable(self) -> None:
+        state = self._request.state
+        if state == RequestState.CANCELLED:
+            raise RequestCancelledError(f"request {self.request_id} was cancelled")
+        if state == RequestState.REJECTED:
+            raise AdmissionRejectedError(
+                f"request {self.request_id} was rejected by admission control"
+            )
+        if state == RequestState.FAILED:
+            # service.result raises RequestFailedError with the recorded cause
+            self._service.result(self.request_id)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the request wherever it lives (queued, running, preempted).
+
+        Releases its admission reservation and unpins its stored context;
+        returns ``False`` (an idempotent no-op) when the request is already
+        terminal.
+        """
+        return self._service.cancel(self.request_id)
+
+
+@dataclass
+class ChatTurn:
+    """One completed prompt → response exchange of a :class:`ChatSession`."""
+
+    prompt_tokens: list[int]
+    result: "GenerationResult"
+    record: "RequestRecord"
+
+    @property
+    def reused_tokens(self) -> int:
+        return self.record.reused_tokens
+
+    @property
+    def reuse_ratio(self) -> float:
+        return self.record.reuse_ratio
+
+    @property
+    def text(self) -> str:
+        return self.result.text
+
+
+class ChatSession:
+    """A multi-turn conversation whose history lives in the context store.
+
+    Each :meth:`send` submits ``full transcript + new prompt`` (every prior
+    prompt and every generated token) and asks the service to re-store the
+    finished session under this chat's context id.  Turn *k+1* therefore
+    prefix-matches everything turn *k* left behind in the store — and only
+    the new user prompt, plus the final generated token whose KV was never
+    computed, is prefilled.
+    """
+
+    def __init__(
+        self,
+        service: "InferenceService",
+        context_id: str | None = None,
+        max_new_tokens: int = 16,
+    ):
+        self._service = service
+        self.context_id = context_id or service.next_chat_context_id()
+        self.max_new_tokens = max_new_tokens
+        self.turns: list[ChatTurn] = []
+        self._pending: RequestHandle | None = None
+        self._transcript: list[int] = []
+        """The *logical* conversation so far: every submitted prompt plus
+        every generated token.  One token longer than the stored context per
+        turn — the final sampled token has no KV yet, so it is prefilled as
+        part of the next turn's suffix rather than prefix-matched."""
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_turns(self) -> int:
+        return len(self.turns)
+
+    @property
+    def pending(self) -> RequestHandle | None:
+        """The in-progress turn's handle, if a ``send`` has not finished."""
+        return self._pending
+
+    def transcript_tokens(self) -> list[int]:
+        """Tokens of the stored conversation context (KV-backed history).
+
+        This is the prefix the next turn's prompt will match; the logical
+        transcript (see :meth:`full_transcript_tokens`) is one token longer
+        per turn — the final sampled token whose KV was never computed.
+        """
+        registry = self._service.db.store_registry
+        if self.context_id in registry:
+            return list(registry.get(self.context_id).tokens)
+        return []
+
+    def full_transcript_tokens(self) -> list[int]:
+        """The complete conversation: every prompt and every generated token.
+
+        This — not the KV-backed :meth:`transcript_tokens` — is what the
+        next turn's prompt is built from, so no generated token is ever
+        dropped from the history the model conditions on.  When resuming a
+        conversation by context id (no turns in this object), the stored
+        context's tokens are the best available history.
+        """
+        if self._transcript:
+            return list(self._transcript)
+        return self.transcript_tokens()
+
+    # ------------------------------------------------------------------
+    # turns
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        prompt: str | list[int],
+        max_new_tokens: int | None = None,
+        **submit_kwargs,
+    ) -> RequestHandle:
+        """Submit the next turn; returns its handle (streamable immediately).
+
+        A still-running previous turn is driven to completion first so its
+        stored context exists for this turn's prefix match.
+        """
+        self._sync_pending()
+        if isinstance(prompt, str) and not prompt:
+            raise ValueError("chat prompts must not be empty")
+        prompt_tokens = self._service.db.tokenize(prompt)
+        if not prompt_tokens:
+            raise ValueError("chat prompts must not be empty")
+        full_prompt = self.full_transcript_tokens() + prompt_tokens
+        handle = self._service.submit(
+            full_prompt,
+            max_new_tokens=self.max_new_tokens if max_new_tokens is None else max_new_tokens,
+            store_context_id=self.context_id,
+            **submit_kwargs,
+        )
+        self._pending = handle
+        return handle
+
+    def ask(
+        self,
+        prompt: str | list[int],
+        max_new_tokens: int | None = None,
+        **submit_kwargs,
+    ) -> ChatTurn:
+        """``send`` + wait: returns the completed turn."""
+        self.send(prompt, max_new_tokens=max_new_tokens, **submit_kwargs)
+        self._sync_pending()
+        return self.turns[-1]
+
+    def cancel(self) -> bool:
+        """Cancel the in-progress turn (no-op without one).
+
+        A cancelled turn stores nothing: the transcript stays at the last
+        completed turn and the next ``send`` builds on that.
+        """
+        if self._pending is None:
+            return False
+        return self._pending.cancel()
+
+    def _sync_pending(self) -> None:
+        """Fold the previous turn's outcome into the transcript bookkeeping."""
+        if self._pending is None:
+            return
+        handle, self._pending = self._pending, None
+        if handle.status == RequestState.CANCELLED:
+            return  # nothing was stored; the transcript is unchanged
+        # propagate rejection/failure to the caller (transcript unchanged)
+        result, record = handle.result()
+        self.turns.append(
+            ChatTurn(prompt_tokens=list(handle.request.prompt_tokens), result=result, record=record)
+        )
+        self._transcript = list(handle.request.prompt_tokens) + list(result.generated_tokens)

@@ -4,7 +4,9 @@ The paper's deployment story (Section 8) is a Model-as-a-Service provider
 running many concurrent requests against a library of stored contexts.  This
 module provides that serving stack on top of :class:`~repro.core.db.DB`:
 
-* ``submit()`` enqueues a request (with optional priority / SLO class);
+* ``submit()`` enqueues a request (with optional priority / SLO class) and
+  returns a :class:`~repro.core.handles.RequestHandle` — live ``status``, an
+  incremental ``tokens()`` stream, a blocking ``result()``, and ``cancel()``;
 * ``step()`` runs one scheduler round: admission control against a global
   GPU-memory budget, then one unit of work per in-flight request — a prefill
   chunk, or one decode token with **all decode-ready requests batched into a
@@ -14,8 +16,15 @@ module provides that serving stack on top of :class:`~repro.core.db.DB`:
   arrival that finds every slot taken pauses the in-flight request with the
   most TTFT slack (its reservation released, its stored context spillable)
   until a slot frees;
+* ``cancel()`` tears a request down wherever it lives — queued, in flight,
+  or preempted — releasing its admission reservation and unpinning its
+  stored context (state ``CANCELLED`` end-to-end);
+* ``chat()`` opens a :class:`~repro.core.handles.ChatSession`: each turn
+  extends one stored context via ``DB.store`` so the next turn's prefill
+  reuses the whole history's KV through the token-trie prefix match;
 * ``drain()`` steps until everything submitted has finished;
-* ``serve()`` remains the one-request convenience wrapper (submit + drain).
+* ``serve()`` remains the one-request convenience wrapper (a thin
+  ``submit().result()``).
 
 The substrate is single-threaded NumPy, so "concurrency" means interleaving
 work across in-flight sessions rather than parallel threads — but the
@@ -33,7 +42,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import AdmissionRejectedError, RequestFailedError
+from ..errors import RequestFailedError
 from ..llm.generation import GenerationLoop, GenerationResult
 from ..llm.model import TransformerModel
 from ..llm.sampling import sample_token
@@ -49,6 +58,7 @@ from ..simulator.slo import SLO, SLOReport, SLOTracker
 from ..storage.buffer_manager import BufferStats
 from .config import AlayaDBConfig
 from .db import DB
+from .handles import ChatSession, RequestHandle
 from .session import Session
 
 __all__ = ["RequestRecord", "ServiceStats", "InferenceService"]
@@ -87,6 +97,8 @@ class ServiceStats:
     rejected: int = 0
     failed: int = 0
     """Requests whose session setup raised (queryable via ``result()``)."""
+    cancelled: int = 0
+    """Requests the client cancelled before they finished."""
     buffer: BufferStats | None = None
     """Live view of the DB's context-residency pool counters."""
 
@@ -161,7 +173,11 @@ class InferenceService:
         )
         self._results: OrderedDict[int, tuple[GenerationResult, RequestRecord]] = OrderedDict()
         self._failures: OrderedDict[int, str] = OrderedDict()
+        self._live: dict[int, InFlightRequest] = {}
+        """In-flight (or preempted) execution state by request id, so handles
+        can stream ``generated`` tokens while the request runs."""
         self._request_counter = 0
+        self._chat_counter = 0
 
     # ------------------------------------------------------------------
     # document management
@@ -189,19 +205,63 @@ class InferenceService:
         priority: int = 0,
         slo: SLO | None = None,
         gpu_memory_budget_bytes: int | None = None,
-    ) -> int:
-        """Enqueue a request; returns its id for :meth:`result` lookup."""
+        prefill_chunk_tokens: int | None = None,
+        store_context_id: str | None = None,
+    ) -> RequestHandle:
+        """Enqueue a request; returns a :class:`RequestHandle`.
+
+        The handle streams tokens (``for t in handle.tokens()``), blocks for
+        the outcome (``handle.result()``), and cancels (``handle.cancel()``).
+        Invalid requests — an empty prompt, negative ``max_new_tokens``, a
+        non-positive ``prefill_chunk_tokens`` override — are rejected here
+        with a ``ValueError`` instead of failing mid-round.
+        """
+        if isinstance(prompt, str) and not prompt:
+            # the byte tokenizer would still emit a BOS token; reject the
+            # empty *text* explicitly so the error names the real problem
+            raise ValueError("prompt must not be an empty string")
         self._request_counter += 1
         request = Request(
             request_id=self._request_counter,
-            prompt_tokens=self.db._tokenize(prompt),
+            prompt_tokens=self.db.tokenize(prompt),
             max_new_tokens=max_new_tokens,
             priority=priority,
             slo=slo,
             gpu_memory_budget_bytes=gpu_memory_budget_bytes,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            store_context_id=store_context_id,
         )
         self.scheduler.submit(request)
-        return request.request_id
+        return RequestHandle(self, request)
+
+    def chat(
+        self, context_id: str | None = None, max_new_tokens: int = 16
+    ) -> ChatSession:
+        """Open a multi-turn :class:`ChatSession` with cross-turn KV reuse.
+
+        ``context_id`` names the stored conversation context (auto-generated
+        when omitted); passing the id of an existing context resumes that
+        conversation.
+        """
+        return ChatSession(self, context_id=context_id, max_new_tokens=max_new_tokens)
+
+    def next_chat_context_id(self) -> str:
+        """A fresh context id for an anonymous :class:`ChatSession`."""
+        self._chat_counter += 1
+        return f"chat-{self._chat_counter:04d}"
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a request (queued, in flight, or preempted).
+
+        Releases its admission reservation, closes its session (unpinning the
+        stored context so the store may spill it), and moves the request to
+        state ``CANCELLED``.  Returns ``False`` as an idempotent no-op when
+        the request is already terminal or unknown.
+        """
+        cancelled = self.scheduler.cancel(request_id)
+        if cancelled:
+            self.stats.cancelled += 1
+        return cancelled
 
     def step(self) -> list[int]:
         """One scheduler round; returns ids of requests it finished."""
@@ -216,13 +276,18 @@ class InferenceService:
             if fl.request.request_id in self._results
         ]
 
-    def result(self, request_id: int) -> tuple[GenerationResult, RequestRecord] | None:
+    def result(
+        self, request_id: int | RequestHandle
+    ) -> tuple[GenerationResult, RequestRecord] | None:
         """The outcome of a finished request (None while pending or rejected).
 
-        Raises :class:`RequestFailedError` when the request's session setup
-        raised mid-round (state FAILED) — the original error is in the
-        message.
+        Accepts a request id or the :class:`RequestHandle` ``submit``
+        returned.  Raises :class:`RequestFailedError` when the request's
+        session setup raised mid-round (state FAILED) — the original error is
+        in the message.
         """
+        if isinstance(request_id, RequestHandle):
+            request_id = request_id.request_id
         if request_id in self._failures:
             raise RequestFailedError(
                 f"request {request_id} failed during session setup: "
@@ -230,24 +295,31 @@ class InferenceService:
             )
         return self._results.get(request_id)
 
+    def generated_tokens(self, request_id: int) -> list[int]:
+        """Tokens generated so far for a request (live view for streaming).
+
+        While the request is in flight this is its growing ``generated``
+        list; after it finishes, the final result's tokens.  Queued,
+        rejected, and cancelled requests have none.
+        """
+        inflight = self._live.get(request_id)
+        if inflight is not None:
+            return inflight.generated
+        outcome = self._results.get(request_id)
+        if outcome is not None:
+            return outcome[0].generated_tokens
+        return []
+
     def serve(
         self,
         prompt: str | list[int],
         max_new_tokens: int = 16,
         gpu_memory_budget_bytes: int | None = None,
     ) -> tuple[GenerationResult, RequestRecord]:
-        """Serve one request end to end (thin wrapper over submit + drain)."""
-        request_id = self.submit(
+        """Serve one request end to end (a thin ``submit().result()``)."""
+        return self.submit(
             prompt, max_new_tokens=max_new_tokens, gpu_memory_budget_bytes=gpu_memory_budget_bytes
-        )
-        self.drain()
-        outcome = self.result(request_id)
-        if outcome is None:
-            raise AdmissionRejectedError(
-                f"request {request_id} was rejected by admission control "
-                f"(scheduler_gpu_budget_bytes={self.config.scheduler_gpu_budget_bytes})"
-            )
-        return outcome
+        ).result()
 
     # ------------------------------------------------------------------
     # scheduler backend protocol
@@ -272,16 +344,21 @@ class InferenceService:
         # an empty suffix (full prefix reuse) still needs one forward pass to
         # produce first-token logits, exactly like GenerationLoop.run_tokens
         pending = list(truncated) if truncated else [self.loop.tokenizer.bos_id]
-        return InFlightRequest(
+        inflight = InFlightRequest(
             request=request,
             session=session,
             pending_tokens=pending,
             truncated_tokens=list(truncated),
             rng=self.loop.sampling.make_rng(),
         )
+        self._live[request.request_id] = inflight
+        return inflight
 
     def prefill_chunk(self, inflight: InFlightRequest) -> None:
-        chunk = inflight.pending_tokens[: self.config.prefill_chunk_tokens]
+        chunk_tokens = (
+            inflight.request.prefill_chunk_tokens or self.config.prefill_chunk_tokens
+        )
+        chunk = inflight.pending_tokens[:chunk_tokens]
         del inflight.pending_tokens[: len(chunk)]
         start = time.perf_counter()
         logits, _ = self.model.prefill(np.asarray(chunk, dtype=np.int64), inflight.session)
@@ -328,6 +405,7 @@ class InferenceService:
 
     def finish_request(self, inflight: InFlightRequest) -> None:
         request = inflight.request
+        self._live.pop(request.request_id, None)
         ttft = (
             inflight.first_token_seconds
             if inflight.first_token_seconds is not None
@@ -345,7 +423,10 @@ class InferenceService:
         record.prefill_compute_seconds = inflight.prefill_seconds
         record.queue_seconds = inflight.queue_seconds
         record.preemptions = inflight.preemptions
-        if self.store_conversations:
+        if request.store_context_id is not None:
+            stored = self._store_session_context(inflight, request.store_context_id)
+            record.stored_context_id = stored.context_id
+        elif self.store_conversations:
             stored = self.db.store(inflight.session, context_id=f"conversation-{request.request_id:04d}")
             record.stored_context_id = stored.context_id
         inflight.session.close()
@@ -354,8 +435,41 @@ class InferenceService:
         while len(self._results) > self.MAX_RETAINED_RESULTS:
             self._results.popitem(last=False)
 
+    def _store_session_context(self, inflight: InFlightRequest, context_id: str):
+        """Persist a finished session's full context under ``context_id``.
+
+        The stored token sequence mirrors exactly what the model consumed:
+        the reused prefix, the prefilled suffix (a lone BOS when the prefix
+        covered the whole prompt), then every generated token that was fed
+        back through decode.  The final sampled token was never fed back, so
+        it has no KV yet — it is prefilled as part of the next turn's suffix.
+        """
+        request = inflight.request
+        session = inflight.session
+        kv_tokens = session.sequence_length(0)
+        fed = list(request.prompt_tokens[: session.reused_prefix_length])
+        fed += inflight.truncated_tokens if inflight.truncated_tokens else [self.loop.tokenizer.bos_id]
+        fed += inflight.generated[: max(kv_tokens - len(fed), 0)]
+        # fine indexes are deferred: rebuilding a graph index over the whole
+        # transcript on *every* turn would dominate the turn; the lazy build
+        # runs once, on the first decode that actually plans a fine retrieval
+        return self.db.store(
+            session, tokens=fed[:kv_tokens], context_id=context_id, lazy_fine_indexes=True
+        )
+
     def reject_request(self, request: Request) -> None:
         self.stats.rejected += 1
+
+    def cancel_request(self, inflight: InFlightRequest) -> None:
+        """Tear down a cancelled request's session.
+
+        The scheduler already released the admission reservation; closing the
+        session unpins its stored context so the context store may spill it
+        again.  (A preempted victim was unpinned — and its close callback
+        detached — at preemption time, so its close here unpins nothing.)
+        """
+        self._live.pop(inflight.request.request_id, None)
+        inflight.session.close()
 
     def fail_request(self, request: Request, error: Exception) -> None:
         """Record a mid-round session-setup failure for ``result()`` lookup."""
@@ -372,17 +486,25 @@ class InferenceService:
         return inflight.session.gpu_memory_bytes()
 
     def preempt_request(self, inflight: InFlightRequest) -> None:
-        """Unpin the paused session's stored context so the store may spill it."""
+        """Unpin the paused session's stored context so the store may spill it.
+
+        The session's close callback (which performs the same unpin) is
+        detached so that cancelling or tearing down the paused session cannot
+        unpin twice and release another session's pin on the same context.
+        """
         session = inflight.session
         if session.context is not None:
+            session.detach_on_close()
             self.db.store_registry.unpin(session.context.context_id)
 
     def resume_request(self, inflight: InFlightRequest) -> None:
         """Re-pin (reloading if spilled) the resumed session's stored context."""
         session = inflight.session
         if session.context is not None:
-            self.db.store_registry.ensure_resident(session.context.context_id)
-            self.db.store_registry.pin(session.context.context_id)
+            context_id = session.context.context_id
+            self.db.store_registry.ensure_resident(context_id)
+            self.db.store_registry.pin(context_id)
+            session.attach_on_close(lambda: self.db.store_registry.unpin(context_id))
             session.invalidate_context_caches()
 
     def between_steps(self) -> None:

@@ -120,6 +120,21 @@ class Session:
         if self._closed:
             raise SessionClosedError("this session has been closed")
 
+    def detach_on_close(self):
+        """Take ownership of the close callback (the stored-context unpin).
+
+        Preemption releases the session's pin on its stored context while the
+        session stays alive; detaching the callback keeps a later ``close()``
+        from unpinning a second time — which would steal another session's
+        pin on the same context.  Returns the callback (or ``None``).
+        """
+        callback, self._on_close = self._on_close, None
+        return callback
+
+    def attach_on_close(self, callback) -> None:
+        """Re-attach a close callback (when a resumed request re-pins)."""
+        self._on_close = callback
+
     def invalidate_context_caches(self) -> None:
         """Drop cached references into the stored context's KV arrays.
 

@@ -47,6 +47,11 @@ class RequestFailedError(DatabaseError):
     raised); the original error message is carried in ``args[0]``."""
 
 
+class RequestCancelledError(DatabaseError):
+    """The result of a cancelled request was demanded; cancelled requests
+    produce no :class:`GenerationResult`."""
+
+
 class QueryError(ReproError):
     """Base class for query-processing errors."""
 

@@ -22,12 +22,21 @@ __all__ = ["KVSnapshot", "snapshot_from_cache", "save_snapshot", "load_snapshot"
 
 @dataclass
 class KVSnapshot:
-    """An immutable picture of a context: tokens plus per-layer KV tensors."""
+    """An immutable picture of a context: tokens plus per-layer KV tensors.
+
+    ``query_samples`` optionally carries the per-layer query vectors captured
+    during the prefill that produced this KV (``(num_query_heads, m,
+    head_dim)`` per layer).  Persisting them alongside the KV lets a context
+    reloaded from disk rebuild its fine indexes with the same out-of-
+    distribution query sample the original build used, instead of falling
+    back to indexing with the keys themselves.
+    """
 
     tokens: list[int]
     keys: dict[int, np.ndarray] = field(default_factory=dict)
     values: dict[int, np.ndarray] = field(default_factory=dict)
     metadata: dict[str, str] = field(default_factory=dict)
+    query_samples: dict[int, np.ndarray] = field(default_factory=dict)
 
     @property
     def num_tokens(self) -> int:
@@ -75,6 +84,9 @@ def save_snapshot(snapshot: KVSnapshot, directory: str | Path, name: str) -> Pat
     for layer, key_tensor in snapshot.keys.items():
         arrays[f"key_{layer}"] = key_tensor
         arrays[f"value_{layer}"] = snapshot.values[layer]
+    for layer, sample in snapshot.query_samples.items():
+        if sample is not None and sample.size:
+            arrays[f"qsample_{layer}"] = np.asarray(sample, dtype=np.float32)
     data_path = directory / f"{name}.npz"
     np.savez_compressed(data_path, **arrays)
     header = {
@@ -99,11 +111,20 @@ def load_snapshot(directory: str | Path, name: str) -> KVSnapshot:
         tokens = [int(t) for t in archive["tokens"]]
         keys: dict[int, np.ndarray] = {}
         values: dict[int, np.ndarray] = {}
+        query_samples: dict[int, np.ndarray] = {}
         for array_name in archive.files:
             if array_name.startswith("key_"):
                 keys[int(array_name[4:])] = archive[array_name]
             elif array_name.startswith("value_"):
                 values[int(array_name[6:])] = archive[array_name]
-    snapshot = KVSnapshot(tokens=tokens, keys=keys, values=values, metadata=header.get("metadata", {}))
+            elif array_name.startswith("qsample_"):
+                query_samples[int(array_name[8:])] = archive[array_name]
+    snapshot = KVSnapshot(
+        tokens=tokens,
+        keys=keys,
+        values=values,
+        metadata=header.get("metadata", {}),
+        query_samples=query_samples,
+    )
     snapshot.validate()
     return snapshot

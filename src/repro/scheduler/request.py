@@ -12,8 +12,8 @@ __all__ = ["RequestState", "Request", "InFlightRequest"]
 
 
 class RequestState:
-    """Lifecycle of a request: queued → running → finished (or rejected/failed),
-    possibly bouncing through preempted ⇄ running along the way."""
+    """Lifecycle of a request: queued → running → finished (or rejected/failed/
+    cancelled), possibly bouncing through preempted ⇄ running along the way."""
 
     QUEUED = "queued"
     DEFERRED = "deferred"
@@ -26,6 +26,12 @@ class RequestState:
     REJECTED = "rejected"
     FAILED = "failed"
     """Session setup raised; the error is recorded on ``Request.error``."""
+    CANCELLED = "cancelled"
+    """The client cancelled the request (queued, in flight, or preempted);
+    its admission reservation was released and its session torn down."""
+
+    TERMINAL = frozenset({FINISHED, REJECTED, FAILED, CANCELLED})
+    """States a request never leaves; see :meth:`Request.is_terminal`."""
 
 
 @dataclass
@@ -41,6 +47,12 @@ class Request:
     """Per-request latency class; its TTFT deadline drives SLO-aware order."""
     gpu_memory_budget_bytes: int | None = None
     """Per-session budget forwarded to the optimizer (not admission control)."""
+    prefill_chunk_tokens: int | None = None
+    """Per-request override of the backend's prefill chunk size; ``None``
+    uses the configured default."""
+    store_context_id: str | None = None
+    """When set, the backend persists the finished session's accumulated
+    context (prompt + generated KV) under this id for cross-turn reuse."""
     submitted_at: float = 0.0
     arrival_order: int = 0
     state: str = RequestState.QUEUED
@@ -48,14 +60,29 @@ class Request:
     """Why the request FAILED (``begin_request`` raised); ``None`` otherwise."""
 
     def __post_init__(self) -> None:
+        if not self.prompt_tokens:
+            raise ValueError(
+                "prompt_tokens must not be empty: an empty prompt has nothing "
+                "to prefill or match against the context store"
+            )
         if self.max_new_tokens < 0:
             raise ValueError(
                 f"max_new_tokens must be non-negative, got {self.max_new_tokens}"
+            )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens <= 0:
+            raise ValueError(
+                f"prefill_chunk_tokens must be positive when set, "
+                f"got {self.prefill_chunk_tokens}"
             )
 
     @property
     def num_prompt_tokens(self) -> int:
         return len(self.prompt_tokens)
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the request reached a state it can never leave."""
+        return self.state in RequestState.TERMINAL
 
     def waited_seconds(self, now: float) -> float:
         return max(0.0, now - self.submitted_at)

@@ -28,9 +28,10 @@ __all__ = ["SchedulerBackend", "SchedulerStats", "RequestScheduler"]
 class SchedulerBackend(Protocol):
     """What the scheduler needs from the serving layer.
 
-    ``decode_batch``, ``fail_request``, ``preempt_request`` and
-    ``resume_request`` are optional: the scheduler probes for them and falls
-    back to per-request decodes / ``reject_request`` / no-ops when absent.
+    ``decode_batch``, ``fail_request``, ``cancel_request``,
+    ``preempt_request`` and ``resume_request`` are optional: the scheduler
+    probes for them and falls back to per-request decodes /
+    ``reject_request`` / no-ops when absent.
     """
 
     def estimate_request_bytes(self, request: Request) -> int:
@@ -50,6 +51,10 @@ class SchedulerBackend(Protocol):
 
     def finish_request(self, inflight: InFlightRequest) -> None:
         """Record results and release per-request resources."""
+
+    def cancel_request(self, inflight: InFlightRequest) -> None:
+        """A running or preempted request was cancelled; tear down its
+        session (its admission reservation is already released)."""
 
     def reject_request(self, request: Request) -> None:
         """Note a request admission control rejected outright."""
@@ -90,6 +95,8 @@ class SchedulerStats:
     preemptions: int = 0
     resumes: int = 0
     completed: int = 0
+    cancelled: int = 0
+    """Requests cancelled by the client (queued, in flight, or preempted)."""
 
 
 class RequestScheduler:
@@ -160,6 +167,42 @@ class RequestScheduler:
         self._arrival_counter += 1
         request.state = RequestState.QUEUED
         self._queue.append(request)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a request wherever it currently lives.
+
+        * queued (or deferred): it simply leaves the queue;
+        * in flight: its admission reservation is released and the backend's
+          ``cancel_request`` tears down its session;
+        * preempted: likewise — the retained part of its reservation (the
+          session footprint kept on the books while paused) is released too.
+
+        Returns ``True`` when a request was cancelled, ``False`` when the id
+        is unknown or already terminal (finished / rejected / failed /
+        cancelled) — cancelling twice is an idempotent no-op.
+        """
+        for index, request in enumerate(self._queue):
+            if request.request_id == request_id:
+                self._queue.pop(index)
+                request.state = RequestState.CANCELLED
+                self.stats.cancelled += 1
+                return True
+        for pool in (self._inflight, self._preempted):
+            for index, inflight in enumerate(pool):
+                if inflight.request.request_id == request_id:
+                    pool.pop(index)
+                    inflight.request.state = RequestState.CANCELLED
+                    self.admission.release(inflight.reserved_bytes)
+                    inflight.reserved_bytes = 0
+                    self.stats.cancelled += 1
+                    cancel = getattr(self.backend, "cancel_request", None)
+                    if cancel is not None:
+                        cancel(inflight)
+                    return True
+        return False
 
     # ------------------------------------------------------------------
     # the step loop

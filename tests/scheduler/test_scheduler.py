@@ -586,4 +586,4 @@ class TestServiceScheduling:
         service.submit("batch style request", max_new_tokens=1, slo=BATCH_SLO)
         urgent = service.submit("urgent request", max_new_tokens=1, slo=INTERACTIVE_SLO)
         finished = service.drain()
-        assert finished[0][1].request_id == urgent
+        assert finished[0][1].request_id == urgent.request_id

@@ -185,7 +185,7 @@ class TestPreemptionThroughService:
         service.step()
         victim = next(
             fl for fl in service.scheduler.preempted_requests()
-            if fl.request.request_id == victim_id
+            if fl.request.request_id == victim_id.request_id
         )
         assert victim.request.state == RequestState.PREEMPTED
         # the victim's stored context was unpinned: the store may spill it now
