@@ -13,14 +13,17 @@ long context, per plan mix (Figure 8's optimizer outputs):
 * **coarse top-k** — the large-budget / InfLLM path; the batched path shares
   the query-to-representative matmul and the block top-k across each group;
 * **dipr (flat + fine)** — the paper's limited-budget mix (flat layer 0,
-  RoarGraph elsewhere); the graph traversal is hop-sequential per head (hops
-  are vectorized *inside* ``diprs_search``), so only the seeds/attention
-  batch and the speedup is modest — reported, not asserted.
+  RoarGraph elsewhere); with ``fine_frontier_batching`` the RoarGraph is
+  walked **once per GQA group** (shared visited set + frontier, fused hop
+  matmuls) instead of once per query head, so the fine mix now batches too.
 
-Both modes must produce allclose-identical outputs and identical
-``DecodeStepStats``; at full size the scan-based mixes must hit
-``MIN_SPEEDUP`` with 8+ query heads.  ``BENCH_SMOKE=1`` shrinks the workload
-for CI sanity runs.
+The head-batched mode (group frontier off) must produce allclose-identical
+outputs and identical ``DecodeStepStats`` vs the per-head fallback; the
+group-frontier mode must produce allclose-identical outputs with **at most**
+the per-head sum of distance computations (asserted at every size, including
+the CI smoke run).  At full size the scan-based mixes must hit
+``MIN_SPEEDUP`` and the fine mix ``MIN_FINE_SPEEDUP`` with 8+ query heads.
+``BENCH_SMOKE=1`` shrinks the workload for CI sanity runs.
 """
 
 from __future__ import annotations
@@ -51,6 +54,8 @@ HEAD_DIM = 16
 CONTEXT_TOKENS = 256 if SMOKE else 2048
 DECODE_TOKENS = 3 if SMOKE else 15
 MIN_SPEEDUP = 2.0
+MIN_FINE_SPEEDUP = 1.5
+FINE_MIX = "dipr (flat+fine)"
 
 BASE_CONFIG = dict(
     short_context_threshold=64,
@@ -138,8 +143,12 @@ def _sweep():
     results = {}
     for mix, overrides in MIXES.items():
         config = AlayaDBConfig(**{**BASE_CONFIG, **overrides})
+        # group frontier off in the "batched" arm: it pins the pure
+        # head-batching refactor (outputs AND stats identical per head)
         batched_s, batched_out, batched_stats, plan = _decode(
-            replace(config, sparse_head_batching=True), context, directions
+            replace(config, sparse_head_batching=True, fine_frontier_batching=False),
+            context,
+            directions,
         )
         per_head_s, per_head_out, per_head_stats, _ = _decode(
             replace(config, sparse_head_batching=False), context, directions
@@ -155,6 +164,23 @@ def _sweep():
             "selected_per_head": batched_stats.mean_selected_per_head,
             "plan": plan.describe(),
         }
+        if mix == FINE_MIX:
+            # third arm: the group-frontier walk (the default configuration)
+            group_s, group_out, group_stats, _ = _decode(config, context, directions)
+            results[mix]["group"] = {
+                "group_ms": group_s * 1000,
+                "speedup_vs_per_head": per_head_s / group_s,
+                "speedup_vs_batched": batched_s / group_s,
+                "equivalent": all(
+                    np.allclose(a, b, atol=1e-4) for a, b in zip(group_out, per_head_out)
+                ),
+                "group_distance": group_stats.num_distance_computations,
+                "per_head_distance": per_head_stats.num_distance_computations,
+                "group_hops": group_stats.num_graph_hops,
+                "per_head_hops": per_head_stats.num_graph_hops,
+                "selected_equal": group_stats.num_selected_tokens
+                == per_head_stats.num_selected_tokens,
+            }
     return results
 
 
@@ -172,6 +198,7 @@ def test_sparse_decode_head_batching(benchmark):
         ]
         for mix, r in results.items()
     ]
+    group = results[FINE_MIX]["group"]
     lines = [
         format_table(
             ["plan mix", "last-layer plan", "per-head ms/tok", "batched ms/tok", "speedup", "sel/head"],
@@ -182,7 +209,29 @@ def test_sparse_decode_head_batching(benchmark):
                 f"{CONTEXT_TOKENS} stored tokens, {NUM_LAYERS} layers ---"
             ),
         ),
-        "(dipr mix: graph traversal is hop-sequential per head; only seeds/attention batch)",
+        format_table(
+            ["fine path", "ms/tok", "graph hops", "distance comps", "speedup vs per-head"],
+            [
+                [
+                    "per-head walk",
+                    round(results[FINE_MIX]["per_head_ms"], 2),
+                    group["per_head_hops"],
+                    group["per_head_distance"],
+                    "1.00x",
+                ],
+                [
+                    "group frontier",
+                    round(group["group_ms"], 2),
+                    group["group_hops"],
+                    group["group_distance"],
+                    f"{group['speedup_vs_per_head']:.2f}x",
+                ],
+            ],
+            title=(
+                f"--- {FINE_MIX} mix: group-frontier DIPRS "
+                f"(one walk per GQA group of {GQA_GROUP_SIZE}) ---"
+            ),
+        ),
     ]
     emit(EXPERIMENT, "\n".join(lines))
 
@@ -191,6 +240,15 @@ def test_sparse_decode_head_batching(benchmark):
     for mix, r in results.items():
         assert r["equivalent"], f"{mix}: batched outputs diverged from the per-head path"
         assert r["stats_equal"], f"{mix}: DecodeStepStats diverged from the per-head path"
+    # the group frontier may only change *work*, never outputs — and the
+    # shared walk must do at most the per-head sum of distance computations
+    # (asserted in smoke mode too, so CI catches accounting regressions)
+    assert group["equivalent"], "group-frontier outputs diverged from the per-head path"
+    assert group["selected_equal"], "group-frontier selected-token counts diverged"
+    assert group["group_distance"] <= group["per_head_distance"], (
+        f"group frontier did more scoring work than the per-head walks: "
+        f"{group['group_distance']} > {group['per_head_distance']}"
+    )
     if not SMOKE:
         # wall-clock comparisons only at full size (smoke keeps CI fast and
         # immune to noisy-runner timing)
@@ -198,3 +256,8 @@ def test_sparse_decode_head_batching(benchmark):
             assert results[mix]["speedup"] >= MIN_SPEEDUP, (
                 f"{mix}: {results[mix]['speedup']:.2f}x < {MIN_SPEEDUP}x"
             )
+        assert group["group_distance"] < group["per_head_distance"]
+        assert group["speedup_vs_per_head"] >= MIN_FINE_SPEEDUP, (
+            f"{FINE_MIX}: group frontier {group['speedup_vs_per_head']:.2f}x "
+            f"< {MIN_FINE_SPEEDUP}x vs the per-head fallback"
+        )

@@ -64,6 +64,18 @@ class AlayaDBConfig:
     partial-attention merges — instead of one retrieval + merge per query
     head.  Off falls back to the per-head path (same outputs and stats)."""
 
+    fine_frontier_batching: bool = True
+    """Walk the per-KV-head RoarGraph once per GQA group during fine (DIPRS)
+    retrieval: one shared visited set and frontier, fused hop scoring as a
+    single ``(g, d) @ (d, m)`` matmul, per-head thresholds and candidate
+    lists.  The frontier expands while *any* head finds a node critical, so
+    every head scores everything the group visits and per-head results are
+    the exact ``best - beta`` range over the shared visited set (typically a
+    superset of — and on clustered data equal to — the per-head walk's);
+    shared distance computations are counted once per group.  Off falls back
+    to one ``diprs_search`` walk per query head (the test oracle).  Only
+    takes effect inside the head-batched path (``sparse_head_batching``)."""
+
     # index construction
     index_build: IndexBuildConfig = field(default_factory=IndexBuildConfig)
 

@@ -280,6 +280,23 @@ class ContextStore:
         else:
             self._pins[context_id] = count - 1
 
+    def pin_count(self, context_id: str) -> int:
+        """Live-session pins currently held on ``context_id`` (0 if none)."""
+        return self._pins.get(context_id, 0)
+
+    def pinned_ids(self) -> list[str]:
+        """Contexts currently pinned by at least one live session."""
+        return sorted(cid for cid, count in self._pins.items() if count > 0)
+
+    @property
+    def num_pinned(self) -> int:
+        """Number of contexts with at least one live pin.
+
+        A drained serving stack must report 0 here — every session closed,
+        preempted-then-cancelled, or resumed-then-finished request returns
+        its pin; the soak test asserts exactly that."""
+        return len(self.pinned_ids())
+
     # ------------------------------------------------------------------
     # prefix matching (token trie)
     # ------------------------------------------------------------------

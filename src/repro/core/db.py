@@ -114,6 +114,28 @@ class DB:
     def _index_block_key(self, context_id: str) -> str:
         return f"index/{context_id}"
 
+    def _mirror_block(self, key: str, nbytes: int, block_type: str) -> None:
+        """Record an access to one mirrored block, refreshing a stale size.
+
+        A context re-stored under the same id (a chat turn growing its
+        transcript) changes size without leaving residency; the hit still
+        counts, but the frame is swapped for one with the current byte count
+        so ``used_bytes`` keeps matching what is actually resident.
+        """
+        try:
+            block = self.buffer_manager.get(
+                key, loader=lambda: ResidencyBlock(key, nbytes, block_type)
+            )
+        except BufferPoolExhaustedError:
+            return
+        if block.nbytes != nbytes:
+            try:
+                # put replaces the stale frame, crediting its bytes back (a
+                # failed put still drops it — no stale size may linger)
+                self.buffer_manager.put(ResidencyBlock(key, nbytes, block_type))
+            except BufferPoolExhaustedError:
+                pass
+
     def _account_residency(self, context: StoredContext) -> None:
         """Record an access to a context's hot data in the buffer pool.
 
@@ -122,22 +144,15 @@ class DB:
         governed by the ContextStore — so pool-capacity pressure is absorbed
         rather than raised.
         """
-        kv_key = self._kv_block_key(context.context_id)
-        try:
-            self.buffer_manager.get(
-                kv_key, loader=lambda: ResidencyBlock(kv_key, context.kv_bytes)
-            )
-        except BufferPoolExhaustedError:
-            pass
+        self._mirror_block(self._kv_block_key(context.context_id), context.kv_bytes, BlockType.DATA)
+        index_key = self._index_block_key(context.context_id)
         if context.fine_indexes:
-            index_key = self._index_block_key(context.context_id)
-            try:
-                self.buffer_manager.get(
-                    index_key,
-                    loader=lambda: ResidencyBlock(index_key, context.index_bytes, BlockType.INDEX),
-                )
-            except BufferPoolExhaustedError:
-                pass
+            self._mirror_block(index_key, context.index_bytes, BlockType.INDEX)
+        else:
+            # an overwrite may have replaced an indexed context with an
+            # index-less one (per-turn chat stores defer fine builds); drop
+            # the stale mirror so used_bytes matches the resident reality
+            self.buffer_manager.remove(index_key)
 
     def _context_spilled(self, context: StoredContext) -> None:
         self.buffer_manager.remove(self._kv_block_key(context.context_id))
@@ -154,6 +169,19 @@ class DB:
             self._build_coarse_indexes(context)
         if context.wants_fine_indexes:
             self._pending_fine.add(context.context_id)
+
+    def touch_context(self, context_id: str) -> StoredContext:
+        """Reload (if spilled) and account one access to a context's hot data.
+
+        The access-accounting entry point for paths outside
+        :meth:`create_session` — e.g. a preempted request resuming — so the
+        residency mirror stays in step with what is actually resident: a
+        spilled context records a miss when the reload repopulates the pool,
+        an already-resident one a hit.
+        """
+        context = self.store_registry.ensure_resident(context_id)
+        self._account_residency(context)
+        return context
 
     # ------------------------------------------------------------------
     # Table 2: DB.create_session(prompts) -> Session, prompts
@@ -180,9 +208,8 @@ class DB:
         on_close = None
         if useful:
             context_id = match.context.context_id
-            context = self.store_registry.ensure_resident(context_id)
+            context = self.touch_context(context_id)
             reused = match.prefix_length
-            self._account_residency(context)
             self.store_registry.pin(context_id)
             index_provider = lambda ctx=context: self._ensure_fine_indexes(ctx)
             on_close = lambda cid=context_id: self.store_registry.unpin(cid)
@@ -414,12 +441,7 @@ class DB:
         self._build_fine_indexes(context)
         self._pending_fine.discard(context_id)
         # refresh the residency mirror with the new index footprint
-        index_key = self._index_block_key(context_id)
-        self.buffer_manager.remove(index_key)
-        try:
-            self.buffer_manager.put(ResidencyBlock(index_key, context.index_bytes, BlockType.INDEX))
-        except BufferPoolExhaustedError:
-            pass
+        self._mirror_block(self._index_block_key(context_id), context.index_bytes, BlockType.INDEX)
         return True
 
     def build_pending(self, limit: int | None = None) -> int:
@@ -450,8 +472,10 @@ class DB:
         A one-off ``index_build`` applies only to this rebuild; the DB's
         configured builder is untouched.
         """
-        context = self.store_registry.ensure_resident(context_id)
+        context = self.touch_context(context_id)
         builder = self._builder if index_build is None else ContextIndexBuilder(index_build)
         self._build_fine_indexes(context, builder=builder)
         self._pending_fine.discard(context_id)
+        # the rebuild changed the index footprint; keep the mirror exact
+        self._mirror_block(self._index_block_key(context_id), context.index_bytes, BlockType.INDEX)
         return next(iter(context.fine_indexes.values()), None)

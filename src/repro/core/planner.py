@@ -18,8 +18,8 @@ from ..errors import PlanningError, UnsupportedQueryError
 from ..index.coarse import CoarseBlockIndex
 from ..index.flat import FlatIndex
 from ..index.roargraph import RoarGraphIndex
-from ..query.dipr import diprs_search, exact_dipr
-from ..query.filtered import filtered_diprs_search, predicate_mask
+from ..query.dipr import diprs_search, diprs_search_group, exact_dipr
+from ..query.filtered import filtered_diprs_search, filtered_diprs_search_group, predicate_mask
 from ..query.topk import graph_topk_search
 from ..query.types import DIPRQuery, FilterPredicate, IndexKind, QueryKind, TopKQuery
 
@@ -62,6 +62,10 @@ class RetrievalOutcome:
     scores: np.ndarray
     num_distance_computations: int
     num_candidates: int
+    num_hops: int = 0
+    """Graph hops the retrieval walked (0 for the scan-based index kinds).
+    Group-frontier retrieval attributes its shared walk to the group's first
+    head, so summing over heads never double-counts shared work."""
 
     @property
     def num_selected(self) -> int:
@@ -117,10 +121,11 @@ class LayerIndexData:
 
 
 class PlanExecutor:
-    """Executes an :class:`ExecutionPlan` for a single query head."""
+    """Executes an :class:`ExecutionPlan` for one query head or a whole layer."""
 
-    def __init__(self, coarse_num_blocks: int = 32):
+    def __init__(self, coarse_num_blocks: int = 32, fine_frontier_batching: bool = True):
         self.coarse_num_blocks = coarse_num_blocks
+        self.fine_frontier_batching = fine_frontier_batching
 
     def retrieve(
         self,
@@ -158,22 +163,52 @@ class PlanExecutor:
         kinds share their per-KV-head work across the GQA group: the flat path
         computes one ``(g, d) @ (d, n)`` score matrix per group instead of
         ``g`` separate scans, and the coarse path shares the
-        query-to-representative matmul the same way.  The fine path stays a
-        per-head graph traversal (its hops are sequential), vectorized at the
-        hop level inside ``diprs_search``.  Entry ``h`` matches
-        :meth:`retrieve` for query head ``h``.
+        query-to-representative matmul the same way.  Fine DIPR retrieval over
+        GQA-shared indexes walks each group's RoarGraph once with the
+        group-frontier search (``fine_frontier_batching``); other fine cases
+        fall back to one traversal per head, vectorized at the hop level
+        inside ``diprs_search``.  Entry ``h`` matches :meth:`retrieve` for
+        query head ``h``.
         """
         if plan.is_full_attention:
             raise PlanningError("full-attention plans are executed by the attention engine, not retrieval")
         queries = np.asarray(queries, dtype=np.float32)
         num_heads = queries.shape[0]
         num_tokens = data.keys.shape[1]
+        if window_max_scores is not None:
+            window_max_scores = np.asarray(window_max_scores, dtype=np.float32)
+            if window_max_scores.shape != (num_heads,):
+                # a (g, 1) array would silently index as 1-element rows and
+                # feed every search a wrong (or deprecation-coerced) seed
+                raise ValueError(
+                    f"window_max_scores must have shape ({num_heads},) — one seed "
+                    f"per query head — got {window_max_scores.shape}"
+                )
 
         if plan.index_kind == IndexKind.FLAT:
             return self._retrieve_flat_heads(plan, data, queries, num_tokens)
         if plan.index_kind == IndexKind.COARSE:
             return self._retrieve_coarse_heads(plan, data, queries)
         if plan.index_kind == IndexKind.FINE:
+            return self._retrieve_fine_heads(plan, data, queries, window_max_scores, num_tokens)
+        raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
+
+    def _retrieve_fine_heads(
+        self,
+        plan: ExecutionPlan,
+        data: LayerIndexData,
+        queries: np.ndarray,
+        window_max_scores: np.ndarray | None,
+        num_tokens: int,
+    ) -> list[RetrievalOutcome]:
+        num_heads = queries.shape[0]
+        use_group = (
+            self.fine_frontier_batching
+            and isinstance(plan.query, DIPRQuery)
+            and data.shared
+            and data.gqa_group_size > 1
+        )
+        if not use_group:
             outcomes = []
             for head in range(num_heads):
                 seed = None if window_max_scores is None else float(window_max_scores[head])
@@ -181,7 +216,48 @@ class PlanExecutor:
                     self._retrieve_fine(plan, data, head, queries[head], seed, num_tokens)
                 )
             return outcomes
-        raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
+
+        outcomes: list[RetrievalOutcome | None] = [None] * num_heads
+        for kv_head, heads in self._heads_by_kv_head(data, num_heads).items():
+            index = data.fine_index_for_query_head(heads[0])
+            seeds = None
+            if plan.use_window_seed and window_max_scores is not None:
+                seeds = window_max_scores[heads]
+            if plan.predicate is not None:
+                results, stats = filtered_diprs_search_group(
+                    index.vectors,
+                    index.graph,
+                    queries[heads],
+                    plan.query.beta,
+                    [index.entry_point],
+                    plan.predicate,
+                    capacity_threshold=plan.query.capacity_threshold,
+                    window_max_scores=seeds,
+                    max_tokens=plan.query.max_tokens,
+                )
+            else:
+                results, stats = diprs_search_group(
+                    index.vectors,
+                    index.graph,
+                    queries[heads],
+                    plan.query.beta,
+                    [index.entry_point],
+                    capacity_threshold=plan.query.capacity_threshold,
+                    window_max_scores=seeds,
+                    max_tokens=plan.query.max_tokens,
+                )
+            for slot, (head, result) in enumerate(zip(heads, results)):
+                # the walk is shared: attribute its distance computations and
+                # hops to the group's first head so per-head outcomes sum to
+                # the group's real (deduplicated) work
+                outcomes[head] = RetrievalOutcome(
+                    result.indices,
+                    result.scores,
+                    stats.num_distance_computations if slot == 0 else 0,
+                    len(result),
+                    num_hops=stats.num_hops if slot == 0 else 0,
+                )
+        return outcomes
 
     def _heads_by_kv_head(self, data: LayerIndexData, num_heads: int) -> dict[int, list[int]]:
         groups: dict[int, list[int]] = {}
@@ -312,7 +388,13 @@ class PlanExecutor:
                     window_max_score=seed,
                     max_tokens=plan.query.max_tokens,
                 )
-            return RetrievalOutcome(result.indices, result.scores, stats.num_distance_computations, len(result))
+            return RetrievalOutcome(
+                result.indices,
+                result.scores,
+                stats.num_distance_computations,
+                len(result),
+                num_hops=stats.num_hops,
+            )
         if isinstance(plan.query, TopKQuery):
             allowed = predicate_mask(num_tokens, plan.predicate)
             result = graph_topk_search(

@@ -502,7 +502,9 @@ class InferenceService:
         session = inflight.session
         if session.context is not None:
             context_id = session.context.context_id
-            self.db.store_registry.ensure_resident(context_id)
+            # touch (not just ensure_resident) so a reload re-enters the
+            # buffer-pool residency mirror like any other access path
+            self.db.touch_context(context_id)
             self.db.store_registry.pin(context_id)
             session.attach_on_close(lambda: self.db.store_registry.unpin(context_id))
             session.invalidate_context_caches()

@@ -38,6 +38,9 @@ class DecodeStepStats:
 
     num_selected_tokens: int = 0
     num_distance_computations: int = 0
+    num_graph_hops: int = 0
+    """Fine-index traversal hops; shared group-frontier walks count once per
+    GQA group (the executor attributes them to the group's first head)."""
     num_window_tokens: int = 0
     num_local_tokens: int = 0
     num_heads: int = 0
@@ -45,6 +48,7 @@ class DecodeStepStats:
     def merge(self, other: "DecodeStepStats") -> None:
         self.num_selected_tokens += other.num_selected_tokens
         self.num_distance_computations += other.num_distance_computations
+        self.num_graph_hops += other.num_graph_hops
         self.num_window_tokens += other.num_window_tokens
         self.num_local_tokens += other.num_local_tokens
         self.num_heads += other.num_heads
@@ -99,7 +103,10 @@ class Session:
 
         self.window = WindowCache(self.config.window_initial_tokens, self.config.window_last_tokens)
         self.engine = DataCentricAttentionEngine()
-        self.executor = PlanExecutor(coarse_num_blocks=self.config.coarse_num_blocks)
+        self.executor = PlanExecutor(
+            coarse_num_blocks=self.config.coarse_num_blocks,
+            fine_frontier_batching=self.config.fine_frontier_batching,
+        )
         self.optimizer = RuleBasedOptimizer(self.config)
         self.last_decode_stats = DecodeStepStats()
         self.total_decode_stats = DecodeStepStats()
@@ -425,6 +432,7 @@ class Session:
         for outcome, breakdown in zip(outcomes, breakdowns):
             stats.num_selected_tokens += breakdown.num_retrieved_tokens
             stats.num_distance_computations += outcome.num_distance_computations
+            stats.num_graph_hops += outcome.num_hops
             stats.num_window_tokens += breakdown.num_window_tokens
             stats.num_local_tokens += breakdown.num_local_tokens
             stats.num_heads += 1
@@ -471,6 +479,7 @@ class Session:
             outputs[head, 0, :] = output
             stats.num_selected_tokens += breakdown.num_retrieved_tokens
             stats.num_distance_computations += outcome.num_distance_computations
+            stats.num_graph_hops += outcome.num_hops
             stats.num_window_tokens += breakdown.num_window_tokens
             stats.num_local_tokens += breakdown.num_local_tokens
             stats.num_heads += 1

@@ -1,7 +1,18 @@
 """Query processing: query types, DIPRS, top-k and filtered search."""
 
-from .dipr import DIPRSearchStats, diprs_search, exact_dipr
-from .filtered import filtered_diprs_search, naive_filtered_diprs_search, predicate_mask
+from .dipr import (
+    DIPRSearchStats,
+    GroupDIPRSearchStats,
+    diprs_search,
+    diprs_search_group,
+    exact_dipr,
+)
+from .filtered import (
+    filtered_diprs_search,
+    filtered_diprs_search_group,
+    naive_filtered_diprs_search,
+    predicate_mask,
+)
 from .topk import coarse_topk_search, flat_topk_search, graph_topk_search
 from .types import (
     DIPRQuery,
@@ -18,6 +29,7 @@ __all__ = [
     "DIPRQuery",
     "DIPRSearchStats",
     "FilterPredicate",
+    "GroupDIPRSearchStats",
     "IndexKind",
     "QueryKind",
     "QuerySpec",
@@ -26,8 +38,10 @@ __all__ = [
     "beta_from_alpha",
     "coarse_topk_search",
     "diprs_search",
+    "diprs_search_group",
     "exact_dipr",
     "filtered_diprs_search",
+    "filtered_diprs_search_group",
     "flat_topk_search",
     "graph_topk_search",
     "naive_filtered_diprs_search",

@@ -20,14 +20,21 @@ tightens the pruning bound from the first hop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..index.base import SearchResult
 from ..index.graph import NeighborGraph
 
-__all__ = ["DIPRSearchStats", "diprs_search", "exact_dipr"]
+__all__ = [
+    "DIPRSearchStats",
+    "GroupDIPRSearchStats",
+    "diprs_search",
+    "diprs_search_group",
+    "exact_dipr",
+]
 
 
 @dataclass
@@ -38,6 +45,27 @@ class DIPRSearchStats:
     num_hops: int = 0
     num_appended: int = 0
     num_pruned: int = 0
+
+
+@dataclass
+class GroupDIPRSearchStats:
+    """Work counters of one group-frontier DIPRS search.
+
+    ``num_distance_computations`` and ``num_hops`` count the *shared* walk
+    once per group: every visited node is gathered from storage and scored for
+    all heads by a single fused matmul, so one node is one distance
+    computation regardless of the group size.  ``per_head`` mirrors the
+    per-head view of the same walk (appended/pruned counts per head; their
+    distance/hop counters equal the shared ones).
+    """
+
+    num_distance_computations: int = 0
+    num_hops: int = 0
+    per_head: list[DIPRSearchStats] = field(default_factory=list)
+
+    @property
+    def num_heads(self) -> int:
+        return len(self.per_head)
 
 
 def append_hop_candidates(
@@ -90,6 +118,250 @@ def append_hop_candidates(
         candidate_ids.extend(int(node) for node in nodes[append])
         candidate_scores.extend(float(score) for score in scores[append])
     return max(best_score, float(scores64.max()))
+
+
+def append_hop_candidates_group(
+    nodes: np.ndarray,
+    scores: np.ndarray,
+    *,
+    beta: float,
+    capacity_threshold: int,
+    allowed: np.ndarray | None,
+    candidate_ids: list[list[int]],
+    candidate_scores: list[list[float]],
+    best_scores: np.ndarray,
+    stats: list[DIPRSearchStats],
+) -> np.ndarray:
+    """Group generalization of :func:`append_hop_candidates`.
+
+    ``scores`` is the ``(g, m)`` matrix of one hop's fused scoring; each row
+    runs the same prefix-cummax append rule the scalar helper applies —
+    per-head capacity grants, per-head running best-so-far — over the shared
+    node set.  ``best_scores`` (``(g,)`` float64) is updated in place.
+    Returns a boolean mask over ``nodes`` marking the ones appended by at
+    least one head, which is the group frontier's expansion condition: a node
+    any head finds critical keeps the shared walk going.
+    """
+    num_nodes = int(nodes.shape[0])
+    num_heads = scores.shape[0]
+    for head_stats in stats:
+        head_stats.num_distance_computations += num_nodes
+    keep_positions = None
+    if allowed is not None:
+        keep = allowed[nodes]
+        num_disallowed = int(num_nodes - keep.sum())
+        if num_disallowed:
+            for head_stats in stats:
+                head_stats.num_pruned += num_disallowed
+            keep_positions = np.flatnonzero(keep)
+            nodes = nodes[keep]
+            scores = scores[:, keep]
+    if nodes.shape[0] == 0:
+        return np.zeros(num_nodes, dtype=bool)
+    scores64 = scores.astype(np.float64)
+    # best-so-far visible to element (h, i) = max(incoming best_h, max(scores[h, :i]))
+    prefix_best = np.empty_like(scores64)
+    prefix_best[:, 0] = best_scores
+    if scores64.shape[1] > 1:
+        np.maximum(
+            best_scores[:, None],
+            np.maximum.accumulate(scores64[:, :-1], axis=1),
+            out=prefix_best[:, 1:],
+        )
+    free_slots = np.array(
+        [max(0, capacity_threshold - len(ids)) for ids in candidate_ids], dtype=np.int64
+    )
+    below_capacity = np.arange(scores64.shape[1])[None, :] < free_slots[:, None]
+    critical = scores64 >= prefix_best - beta
+    append = below_capacity | critical
+    for head in range(num_heads):
+        selected = append[head]
+        num_appended = int(selected.sum())
+        stats[head].num_appended += num_appended
+        stats[head].num_pruned += int(nodes.shape[0] - num_appended)
+        if num_appended:
+            candidate_ids[head].extend(int(node) for node in nodes[selected])
+            candidate_scores[head].extend(float(score) for score in scores[head, selected])
+    np.maximum(best_scores, scores64.max(axis=1), out=best_scores)
+    appended_any = append.any(axis=0)
+    if keep_positions is None:
+        return appended_any
+    mask = np.zeros(num_nodes, dtype=bool)
+    mask[keep_positions[appended_any]] = True
+    return mask
+
+
+def group_frontier_search(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    queries: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    *,
+    expand: Callable[[int], np.ndarray],
+    capacity_threshold: int = 32,
+    window_max_scores: np.ndarray | None = None,
+    allowed: np.ndarray | None = None,
+    max_tokens: int | None = None,
+    entry_fallback: Callable[[], np.ndarray] | None = None,
+) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
+    """The shared group-frontier walk behind :func:`diprs_search_group`.
+
+    One visited set and one frontier serve every head of the group: each hop
+    gathers the fresh neighbours once, scores them for all heads with a
+    single ``(g, d) @ (d, m)`` matmul, and runs the per-head append rule on
+    the resulting score matrix.  A node joins the frontier when *any* head
+    appends it — a head whose own prune condition would stop keeps receiving
+    (and scoring) the nodes the rest of the group explores.  Each head's
+    result is therefore the exact ``best - beta`` range over the *shared*
+    visited set (a scored node within ``beta`` of a head's final best always
+    passes the critical check, because the running threshold never exceeds
+    the final one); since the union walk typically visits a superset of any
+    solo walk's nodes, per-head results typically grow relative to
+    :func:`diprs_search` — like the solo walk, the traversal itself stays
+    approximate, so this is an empirical (grid-pinned) property, not a
+    theorem.  The ``max_tokens`` cap and the final threshold remain
+    per-head.
+
+    ``expand`` maps an expanded node to its exploration neighbourhood (1-hop
+    for plain DIPRS, 2-hop for the filtered variant) and ``entry_fallback``
+    optionally supplies replacement seeds when no head appends any entry
+    point (the filtered search falls back to the first allowed positions).
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    num_heads = queries.shape[0]
+    stats = GroupDIPRSearchStats(per_head=[DIPRSearchStats() for _ in range(num_heads)])
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    candidate_ids: list[list[int]] = [[] for _ in range(num_heads)]
+    candidate_scores: list[list[float]] = [[] for _ in range(num_heads)]
+    if window_max_scores is None:
+        best_scores = np.full(num_heads, -np.inf, dtype=np.float64)
+    else:
+        best_scores = np.asarray(window_max_scores, dtype=np.float64).reshape(-1).copy()
+        if best_scores.shape[0] != num_heads:
+            raise ValueError(
+                f"window_max_scores must provide one seed per head "
+                f"({num_heads}), got shape {np.shape(window_max_scores)}"
+            )
+    frontier: list[int] = []
+
+    def score_fresh(fresh: np.ndarray) -> None:
+        # fused hop scoring: one (g, d) @ (d, m) matmul serves the whole group,
+        # and the gather from storage happens once — counted once per group
+        hop_scores = queries @ vectors[fresh].T
+        stats.num_distance_computations += int(fresh.shape[0])
+        appended = append_hop_candidates_group(
+            fresh,
+            hop_scores,
+            beta=beta,
+            capacity_threshold=capacity_threshold,
+            allowed=allowed,
+            candidate_ids=candidate_ids,
+            candidate_scores=candidate_scores,
+            best_scores=best_scores,
+            stats=stats.per_head,
+        )
+        if appended.any():
+            frontier.extend(int(node) for node in fresh[appended])
+
+    entry_points = np.atleast_1d(np.asarray(entry_points, dtype=np.int64))
+    fresh_entries = []
+    for entry in entry_points:
+        entry = int(entry)
+        if not visited[entry]:
+            visited[entry] = True
+            fresh_entries.append(entry)
+    if fresh_entries:
+        score_fresh(np.asarray(fresh_entries, dtype=np.int64))
+    if entry_fallback is not None and not frontier:
+        seeds = np.asarray(entry_fallback(), dtype=np.int64)
+        seeds = seeds[~visited[seeds]]
+        if seeds.shape[0]:
+            visited[seeds] = True
+            score_fresh(seeds)
+
+    cursor = 0
+    while cursor < len(frontier):
+        node = frontier[cursor]
+        cursor += 1
+        stats.num_hops += 1
+        for head_stats in stats.per_head:
+            head_stats.num_hops += 1
+        neighbors = expand(node)
+        fresh = neighbors[~visited[neighbors]]
+        if fresh.shape[0] == 0:
+            continue
+        visited[fresh] = True
+        score_fresh(fresh)
+
+    results = []
+    for head in range(num_heads):
+        indices = np.asarray(candidate_ids[head], dtype=np.int64)
+        scores = np.asarray(candidate_scores[head], dtype=np.float32)
+        threshold = best_scores[head] - beta
+        keep = scores >= threshold
+        indices, scores = indices[keep], scores[keep]
+        order = np.argsort(-scores)
+        if max_tokens is not None:
+            order = order[:max_tokens]
+        results.append(
+            SearchResult(
+                indices=indices[order],
+                scores=scores[order],
+                num_distance_computations=stats.num_distance_computations,
+            )
+        )
+    return results, stats
+
+
+def diprs_search_group(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    queries: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    capacity_threshold: int = 32,
+    window_max_scores: np.ndarray | None = None,
+    allowed: np.ndarray | None = None,
+    max_tokens: int | None = None,
+) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
+    """Group-frontier DIPRS: one shared walk for a whole GQA group.
+
+    GQA query heads probing the same KV head share the RoarGraph their keys
+    were indexed into, so ``g`` separate :func:`diprs_search` walks revisit
+    largely the same nodes ``g`` times.  This variant walks the graph once
+    for all of them: one visited set, one frontier, and fused hop scoring
+    (one ``(g, d) @ (d, m)`` matmul per hop) against per-head best-score /
+    ``beta`` thresholds.  Expansion follows the *union* policy — a node is
+    explored while any head finds it critical (or has capacity slots open) —
+    so every head scores every node the group visits, and the returned
+    per-head results are threshold-filtered at that head's own
+    ``best - beta`` exactly like the scalar search, with ``allowed`` masks
+    and the ``max_tokens`` cap applied per head.  On attention-like
+    clustered data the group and solo walks find the same maxima and the
+    per-head top sets match the solo results exactly, typically as (equal)
+    supersets — the equivalence grid in ``tests/query/test_group_frontier``
+    pins this.
+
+    Returns one :class:`~repro.index.base.SearchResult` per row of
+    ``queries`` (entry ``h`` matching ``diprs_search(queries[h], ...)`` on
+    aligned traversals) plus the :class:`GroupDIPRSearchStats` of the shared
+    walk, whose distance computations count each visited node once for the
+    whole group.
+    """
+    return group_frontier_search(
+        vectors,
+        graph,
+        queries,
+        beta,
+        entry_points,
+        expand=lambda node: graph.neighbors(int(node)),
+        capacity_threshold=capacity_threshold,
+        window_max_scores=window_max_scores,
+        allowed=allowed,
+        max_tokens=max_tokens,
+    )
 
 
 def exact_dipr(vectors: np.ndarray, query: np.ndarray, beta: float, allowed: np.ndarray | None = None) -> SearchResult:

@@ -15,10 +15,20 @@ import numpy as np
 
 from ..index.base import SearchResult
 from ..index.graph import NeighborGraph
-from .dipr import DIPRSearchStats, append_hop_candidates
+from .dipr import (
+    DIPRSearchStats,
+    GroupDIPRSearchStats,
+    append_hop_candidates,
+    group_frontier_search,
+)
 from .types import FilterPredicate
 
-__all__ = ["predicate_mask", "filtered_diprs_search", "naive_filtered_diprs_search"]
+__all__ = [
+    "predicate_mask",
+    "filtered_diprs_search",
+    "filtered_diprs_search_group",
+    "naive_filtered_diprs_search",
+]
 
 
 def predicate_mask(num_tokens: int, predicate: FilterPredicate | None) -> np.ndarray | None:
@@ -125,6 +135,47 @@ def filtered_diprs_search(
         order = order[:max_tokens]
     result = SearchResult(indices=indices[order], scores=scores[order], num_distance_computations=stats.num_distance_computations)
     return result, stats
+
+
+def filtered_diprs_search_group(
+    vectors: np.ndarray,
+    graph: NeighborGraph,
+    queries: np.ndarray,
+    beta: float,
+    entry_points: np.ndarray | list[int],
+    predicate: FilterPredicate,
+    capacity_threshold: int = 32,
+    window_max_scores: np.ndarray | None = None,
+    max_tokens: int | None = None,
+) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
+    """Group-frontier variant of :func:`filtered_diprs_search`.
+
+    One shared 2-hop-expanded walk serves every head of a GQA group (see
+    :func:`repro.query.dipr.diprs_search_group` for the frontier policy);
+    candidate lists, thresholds and the ``max_tokens`` cap stay per head, and
+    only predicate-satisfying tokens may enter a candidate list or raise a
+    head's best-so-far maximum.  When no head appends any entry point the
+    walk reseeds from the first allowed positions, exactly like the scalar
+    search.
+    """
+    allowed = predicate_mask(graph.num_nodes, predicate)
+
+    def first_allowed_seeds() -> np.ndarray:
+        return np.flatnonzero(allowed)[: max(1, capacity_threshold // 4)]
+
+    return group_frontier_search(
+        vectors,
+        graph,
+        queries,
+        beta,
+        entry_points,
+        expand=lambda node: _two_hop_neighbors(graph, int(node)),
+        capacity_threshold=capacity_threshold,
+        window_max_scores=window_max_scores,
+        allowed=allowed,
+        max_tokens=max_tokens,
+        entry_fallback=first_allowed_seeds,
+    )
 
 
 def naive_filtered_diprs_search(

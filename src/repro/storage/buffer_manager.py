@@ -81,6 +81,11 @@ class BufferManager:
     def resident_ids(self) -> list[str]:
         return list(self._frames)
 
+    def resident_blocks(self) -> dict[str, int]:
+        """Mapping of cached block id → bytes (for accounting cross-checks)."""
+        with self._lock:
+            return {key: frame.nbytes for key, frame in self._frames.items()}
+
     def __contains__(self, block_id: BlockId | str) -> bool:
         return str(block_id) in self._frames
 

@@ -371,7 +371,10 @@ class TestPlanExecutor:
     def test_retrieve_heads_matches_per_head_retrieve(self, plan):
         data, _ = self._layer_data()
         batched_data, _ = self._layer_data()
-        executor = PlanExecutor(coarse_num_blocks=2)
+        # fine_frontier_batching off: retrieve_heads must reproduce the
+        # per-head oracle exactly here; the group-frontier walk is covered by
+        # tests/query/test_group_frontier.py
+        executor = PlanExecutor(coarse_num_blocks=2, fine_frontier_batching=False)
         rng = np.random.default_rng(7)
         queries = rng.normal(size=(4, 16)).astype(np.float32)
         seeds = np.full(4, -np.inf, dtype=np.float32)

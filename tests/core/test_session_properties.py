@@ -180,8 +180,12 @@ def test_head_batched_decode_matches_per_head_path(plan_kind, variant):
     )
 
     def run(batched: bool):
+        # fine_frontier_batching off: this test pins the head-batching
+        # refactor against the per-head walk bit for bit; the group-frontier
+        # walk (which shares distance computations across the GQA group by
+        # design) is covered by tests/query/test_group_frontier.py
         session = Session(
-            replace(config, sparse_head_batching=batched),
+            replace(config, sparse_head_batching=batched, fine_frontier_batching=False),
             context=context,
             reused_prefix_length=num_tokens - reuse_offset,
             num_layers=1,
