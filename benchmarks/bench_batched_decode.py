@@ -12,7 +12,13 @@ the batched-decode refactor:
 * **preemption** — with the ``slo`` policy and ``preemption`` enabled, an
   SLO-critical request arriving while long batch jobs occupy every slot
   meets a TTFT deadline it misses under plain in-flight occupancy (the
-  victim with the most slack is paused and later resumed, losing nothing).
+  victim with the most slack is paused and later resumed, losing nothing);
+* **cross-request sparse rounds** — N sessions decoding against one shared
+  stored context with every layer routed to flat DIPR scans: with
+  ``cross_request_sparse_batching`` the scheduler stacks the per-layer
+  retrieval into one gemm over the concatenated queries and merges the
+  partial-attention pieces in one engine call per layer, vs one retrieval +
+  merge round per session.  Outputs must stay token-identical at any size.
 
 ``BENCH_SMOKE=1`` shrinks the workload for CI sanity runs.
 """
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.common import emit, run_once, smoke_mode
+from benchmarks.common import emit, run_once, smoke_mode, write_bench_json
 from repro.analysis.reporting import format_table
 from repro.core.config import AlayaDBConfig
 from repro.core.service import InferenceService
@@ -35,6 +41,12 @@ NUM_INFLIGHT = 8
 DECODE_TOKENS = 8 if SMOKE else 48
 LONG_JOB_TOKENS = 24 if SMOKE else 220
 MIN_SPEEDUP = 1.3
+
+SPARSE_INFLIGHT = (1, 8) if SMOKE else (1, 8, 16)
+SPARSE_DOC_TOKENS = 192 if SMOKE else 1024
+SPARSE_DECODE_TOKENS = 6 if SMOKE else 24
+SPARSE_REPEATS = 1 if SMOKE else 3
+MIN_SPARSE_SPEEDUP = 2.0
 
 
 def _throughput(model, decode_batching: bool):
@@ -89,6 +101,73 @@ def _slo_arrival(model, preemption: bool, ttft_deadline: float | None):
     }
 
 
+def _sparse_mix(model, num_inflight: int, cross: bool):
+    """Per-token decode latency of ``num_inflight`` sparse sessions sharing
+    one ingested long context, with every layer routed to flat DIPR scans.
+
+    All prompts prefix-match the stored document (plus a distinct suffix
+    token), so every session lands in one cross-request compatibility group.
+    The unscaled ``dipr_beta`` keeps retrieval selective (tens of critical
+    tokens per head, the paper's sparse regime) rather than near-dense.
+    """
+    config = AlayaDBConfig(
+        cross_request_sparse_batching=cross,
+        max_inflight_requests=num_inflight,
+        short_context_threshold=64,
+        window_initial_tokens=8,
+        window_last_tokens=16,
+        gpu_memory_budget_bytes=1,
+        flat_index_layers=tuple(range(model.config.num_layers)),
+        min_reuse_tokens=4,
+        dipr_beta=1.5,
+        scale_beta_to_head_dim=False,
+    )
+    service = InferenceService(model, config)
+    doc = [2 + (i % 250) for i in range(SPARSE_DOC_TOKENS)]
+    service.db.prefill_and_import(model, doc, build_fine_indexes=False)
+    for i in range(num_inflight):
+        service.submit(doc + [210 + i], max_new_tokens=SPARSE_DECODE_TOKENS)
+    start = time.perf_counter()
+    results = service.drain()
+    seconds = time.perf_counter() - start
+    report = service.memory_report()
+    generated = service.stats.total_generated_tokens
+    return {
+        "ms_per_token": seconds / max(generated, 1) * 1000,
+        "generated": generated,
+        "tokens": [
+            res.generated_tokens
+            for res, _ in sorted(results, key=lambda pair: pair[1].request_id)
+        ],
+        "retrieval_seconds": report["decode_retrieval_seconds"],
+        "merge_seconds": report["decode_merge_seconds"],
+    }
+
+
+def _sparse_sweep(model):
+    """cross_request_sparse_batching on vs off across the in-flight sweep.
+
+    Each arm runs ``SPARSE_REPEATS`` times and keeps its fastest run (the
+    min is the least noisy wall-clock estimator); outputs are compared on
+    every run — decode is deterministic, so all repeats must agree.
+    """
+    _sparse_mix(model, 1, cross=False)  # warm-up: the first run pays cold caches
+    sweep = {}
+    for n in SPARSE_INFLIGHT:
+        runs = {cross: [_sparse_mix(model, n, cross) for _ in range(SPARSE_REPEATS)] for cross in (False, True)}
+        per_session = min(runs[False], key=lambda r: r["ms_per_token"])
+        batched = min(runs[True], key=lambda r: r["ms_per_token"])
+        sweep[n] = {
+            "per_session": per_session,
+            "batched": batched,
+            "speedup": per_session["ms_per_token"] / batched["ms_per_token"],
+            "token_identical": all(
+                r["tokens"] == per_session["tokens"] for arm in runs.values() for r in arm
+            ),
+        }
+    return sweep
+
+
 def _sweep():
     model = TransformerModel(ModelConfig.tiny(seed=103))
     per_session = _throughput(model, decode_batching=False)
@@ -99,11 +178,12 @@ def _sweep():
     occupied = _slo_arrival(model, preemption=False, ttft_deadline=None)
     deadline = occupied["ttft_from_submit"] / 2
     preempted = _slo_arrival(model, preemption=True, ttft_deadline=deadline)
-    return per_session, batched, occupied, preempted, deadline
+    sparse = _sparse_sweep(model)
+    return per_session, batched, occupied, preempted, deadline, sparse
 
 
 def test_batched_decode(benchmark):
-    per_session, batched, occupied, preempted, deadline = run_once(benchmark, _sweep)
+    per_session, batched, occupied, preempted, deadline, sparse = run_once(benchmark, _sweep)
 
     speedup = batched["tokens_per_second"] / per_session["tokens_per_second"]
     rows = [
@@ -115,6 +195,16 @@ def test_batched_decode(benchmark):
             r["batched_calls"],
         ]
         for name, r in (("per-session loop", per_session), ("batched decode", batched))
+    ]
+    sparse_rows = [
+        [
+            n,
+            round(r["per_session"]["ms_per_token"], 2),
+            round(r["batched"]["ms_per_token"], 2),
+            f"{r['speedup']:.2f}x",
+            "yes" if r["token_identical"] else "NO",
+        ]
+        for n, r in sparse.items()
     ]
     lines = [
         format_table(
@@ -129,8 +219,46 @@ def test_batched_decode(benchmark):
         f"without preemption: TTFT {occupied['ttft_from_submit'] * 1000:.1f} ms (misses)",
         f"with preemption:    TTFT {preempted['ttft_from_submit'] * 1000:.1f} ms "
         f"({preempted['preemptions']} preemption(s), {preempted['resumes']} resume(s))",
+        "",
+        format_table(
+            ["in-flight", "per-session ms/tok", "batched ms/tok", "speedup", "tokens match"],
+            sparse_rows,
+            title=(
+                f"--- cross-request sparse rounds, {SPARSE_DOC_TOKENS}-token shared "
+                f"context, flat DIPR plans ---"
+            ),
+        ),
     ]
     emit(EXPERIMENT, "\n".join(lines))
+
+    write_bench_json(
+        EXPERIMENT,
+        metrics={
+            "dense_tokens_per_second_per_session": per_session["tokens_per_second"],
+            "dense_tokens_per_second_batched": batched["tokens_per_second"],
+            "dense_batched_speedup": speedup,
+            "preemption_ttft_ms": preempted["ttft_from_submit"] * 1000,
+            "occupied_ttft_ms": occupied["ttft_from_submit"] * 1000,
+            "sparse_ms_per_token": {
+                str(n): {
+                    "per_session": r["per_session"]["ms_per_token"],
+                    "batched": r["batched"]["ms_per_token"],
+                    "speedup": r["speedup"],
+                }
+                for n, r in sparse.items()
+            },
+        },
+        config={
+            "num_inflight": NUM_INFLIGHT,
+            "decode_tokens": DECODE_TOKENS,
+            "sparse_inflight": list(SPARSE_INFLIGHT),
+            "sparse_doc_tokens": SPARSE_DOC_TOKENS,
+            "sparse_decode_tokens": SPARSE_DECODE_TOKENS,
+            "sparse_repeats": SPARSE_REPEATS,
+            "sparse_dipr_beta": 1.5,
+            "model": "ModelConfig.tiny(seed=103)",
+        },
+    )
 
     # structural wins hold at any size; wall-clock comparisons only run at
     # full size (smoke mode keeps CI fast and immune to noisy-runner timing)
@@ -140,6 +268,17 @@ def test_batched_decode(benchmark):
     assert preempted["resumes"] >= 1
     # the preempted victims still completed their full generations
     assert preempted["all_finished"]
+    # the cross-request round is a pure performance refactor: token-identical
+    # outputs at every size, and at 8 in-flight the stacked round must not be
+    # slower than one retrieval + merge round per session (asserted in smoke
+    # mode too, so CI catches the batching regressing into overhead)
+    for n, r in sparse.items():
+        assert r["token_identical"], (
+            f"sparse mix @ {n} in-flight: batched outputs diverged from the "
+            f"per-session path"
+        )
+        assert r["batched"]["generated"] == r["per_session"]["generated"]
+    assert sparse[8]["batched"]["ms_per_token"] <= sparse[8]["per_session"]["ms_per_token"]
     if not SMOKE:
         # batching the shared dense work beats one forward pass per session
         assert speedup >= MIN_SPEEDUP
@@ -147,3 +286,11 @@ def test_batched_decode(benchmark):
         # misses under plain in-flight occupancy
         assert occupied["ttft_from_submit"] > deadline
         assert preempted["ttft_from_submit"] <= deadline
+        # one retrieval + attention round per scheduler step: >= 2x per-token
+        # latency win at 8+ in-flight sparse sessions
+        for n in SPARSE_INFLIGHT:
+            if n >= 8:
+                assert sparse[n]["speedup"] >= MIN_SPARSE_SPEEDUP, (
+                    f"sparse mix @ {n} in-flight: {sparse[n]['speedup']:.2f}x "
+                    f"< {MIN_SPARSE_SPEEDUP}x"
+                )

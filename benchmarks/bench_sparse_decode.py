@@ -33,7 +33,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from benchmarks.common import emit, run_once, smoke_mode
+from benchmarks.common import emit, run_once, smoke_mode, write_bench_json
 from repro.analysis.reporting import format_table
 from repro.core.config import AlayaDBConfig
 from repro.core.context_store import StoredContext
@@ -234,6 +234,35 @@ def test_sparse_decode_head_batching(benchmark):
         ),
     ]
     emit(EXPERIMENT, "\n".join(lines))
+
+    write_bench_json(
+        EXPERIMENT,
+        metrics={
+            mix: {
+                "per_head_ms": r["per_head_ms"],
+                "batched_ms": r["batched_ms"],
+                "speedup": r["speedup"],
+                "selected_per_head": r["selected_per_head"],
+            }
+            for mix, r in results.items()
+        }
+        | {
+            "group_frontier": {
+                "group_ms": group["group_ms"],
+                "speedup_vs_per_head": group["speedup_vs_per_head"],
+                "group_distance": group["group_distance"],
+                "per_head_distance": group["per_head_distance"],
+            }
+        },
+        config={
+            "num_heads": NUM_HEADS,
+            "num_kv_heads": NUM_KV_HEADS,
+            "gqa_group_size": GQA_GROUP_SIZE,
+            "context_tokens": CONTEXT_TOKENS,
+            "num_layers": NUM_LAYERS,
+            "decode_tokens": DECODE_TOKENS,
+        },
+    )
 
     # equivalence holds at any size: the batched path must be a pure
     # performance refactor

@@ -4,11 +4,12 @@ from .attention_engine import AttentionBreakdown, DataCentricAttentionEngine
 from .config import AlayaDBConfig
 from .context_store import ContextStore, PrefixMatch, StoredContext
 from .db import DB
+from .decode_round import CrossRequestDecodeRound, DynamicAttentionPolicy, PolicyState, StageTimings
 from .handles import ChatSession, ChatTurn, RequestHandle
 from .optimizer import QueryContext, RuleBasedOptimizer
 from .planner import ExecutionPlan, LayerIndexData, PlanExecutor, RetrievalOutcome
 from .service import InferenceService, RequestRecord, ServiceStats
-from .session import DecodeStepStats, Session
+from .session import DecodeStepStats, Session, SparseLayerInputs
 from .window_cache import WindowCache
 
 __all__ = [
@@ -17,7 +18,12 @@ __all__ = [
     "ChatSession",
     "ChatTurn",
     "ContextStore",
+    "CrossRequestDecodeRound",
     "DB",
+    "DynamicAttentionPolicy",
+    "PolicyState",
+    "SparseLayerInputs",
+    "StageTimings",
     "RequestHandle",
     "DataCentricAttentionEngine",
     "DecodeStepStats",

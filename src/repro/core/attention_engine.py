@@ -138,8 +138,9 @@ class DataCentricAttentionEngine:
         window_positions:
             Positions in the GPU window cache (shared by all heads).
         retrieved_positions:
-            One position array per query head (deduplicated against the
-            window inside this method).
+            One position array per query head; each array must be
+            duplicate-free (retrieval outcomes are).  Deduplication against
+            the window happens inside this method.
         local_keys / local_values:
             ``(num_kv_heads, m, head_dim)`` unmaterialised local KV, or None.
         """
@@ -149,18 +150,11 @@ class DataCentricAttentionEngine:
         num_kv_heads = keys.shape[0]
         gqa_group_size = num_heads // num_kv_heads
 
-        # dedup against the window with one shared lookup table instead of a
-        # per-head setdiff1d; np.unique keeps setdiff1d's sorted-unique output
         in_window = None
         if window_positions.size:
             in_window = np.zeros(keys.shape[1], dtype=bool)
             in_window[window_positions] = True
-        deduped: list[np.ndarray] = []
-        for positions in retrieved_positions:
-            positions = np.asarray(positions, dtype=np.int64)
-            if in_window is not None and positions.size:
-                positions = np.unique(positions[~in_window[positions]])
-            deduped.append(positions)
+        dedup = self._dedup_and_pad(retrieved_positions, in_window, num_heads, keys.shape[1])
 
         breakdowns = [AttentionBreakdown() for _ in range(num_heads)]
         partials: list[PartialAttention] = []
@@ -175,11 +169,16 @@ class DataCentricAttentionEngine:
             )
             for breakdown in breakdowns:
                 breakdown.num_window_tokens = int(window_positions.size)
-        retrieved_partial = self._retrieved_partial(queries, keys, values, deduped, gqa_group_size)
-        if retrieved_partial is not None:
-            partials.append(retrieved_partial)
-            for breakdown, positions in zip(breakdowns, deduped):
-                breakdown.num_retrieved_tokens = int(positions.size)
+        if dedup is not None:
+            padded, mask, counts = dedup
+            partials.append(
+                self._masked_retrieved_partial(
+                    queries, keys, values, padded, mask,
+                    np.arange(num_heads, dtype=np.int64) // gqa_group_size,
+                )
+            )
+            for head, breakdown in enumerate(breakdowns):
+                breakdown.num_retrieved_tokens = int(counts[head])
         if local_keys is not None and local_keys.shape[1] > 0:
             partials.append(
                 partial_attention(queries, local_keys, local_values, scale=self.scale)
@@ -188,36 +187,191 @@ class DataCentricAttentionEngine:
                 breakdown.num_local_tokens = int(local_keys.shape[1])
         return self._merge_per_head(partials, num_heads, head_dim), breakdowns
 
-    def _retrieved_partial(
+    def stacked_layer_output(
         self,
         queries: np.ndarray,
         keys: np.ndarray,
         values: np.ndarray,
-        positions_per_head: list[np.ndarray],
-        gqa_group_size: int,
-    ) -> PartialAttention | None:
-        """Partial attention over the per-head retrieved sets, padded to one batch.
+        window_positions: np.ndarray,
+        retrieved_positions: list[np.ndarray],
+        local_keys: list[np.ndarray | None],
+        local_values: list[np.ndarray | None],
+    ) -> tuple[np.ndarray, list[AttentionBreakdown]]:
+        """Sparse attention for several sessions stacked over one shared context.
 
-        Heads retrieve different numbers of tokens, so the gather pads every
-        head to the longest set and masks the padding out of the softmax
-        statistics.  Heads with nothing retrieved come back as the per-head
-        neutral element (``max_logit=-inf``, ``sum_exp=0``).
+        The cross-request sibling of :meth:`layer_output`: every session in a
+        compatibility group reads the *same* stored-context KV with the same
+        window positions, so the window partial is one einsum over the
+        ``(sessions, kv_heads, group, d)`` query stack against the un-copied
+        ``(kv_heads, window, d)`` gather, the retrieved partial reuses the
+        padded per-head gather with a session-aware KV-head mapping, and the
+        per-session local KV (ragged — sessions have generated different
+        numbers of tokens) is padded/masked into one batch.  Row ``(s, h)``
+        of the output (and entry ``s * num_heads + h`` of the breakdown list)
+        matches ``layer_output`` run on session ``s`` alone.
+
+        Parameters
+        ----------
+        queries:
+            ``(num_sessions, num_query_heads, head_dim)`` decode queries.
+        keys / values:
+            ``(num_kv_heads, n, head_dim)`` KV of the shared stored context.
+        window_positions:
+            Window-cache positions (identical across the group by the
+            compatibility key: same context, prefix and config).
+        retrieved_positions:
+            One position array per stacked head, session-major
+            (``num_sessions * num_query_heads`` entries, each duplicate-free).
+        local_keys / local_values:
+            Per-session unmaterialised KV ``(num_kv_heads, m_s, head_dim)``
+            or ``None``; lengths ``m_s`` may differ.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        num_sessions, num_heads, head_dim = queries.shape
+        num_kv_heads = keys.shape[0]
+        group = num_heads // num_kv_heads
+        total = num_sessions * num_heads
+        window_positions = np.asarray(window_positions, dtype=np.int64)
+        scale = np.float32(self.scale if self.scale is not None else 1.0 / np.sqrt(head_dim))
+        grouped_q = queries.reshape(num_sessions, num_kv_heads, group, head_dim)
+
+        in_window = None
+        if window_positions.size:
+            in_window = np.zeros(keys.shape[1], dtype=bool)
+            in_window[window_positions] = True
+        dedup = self._dedup_and_pad(retrieved_positions, in_window, total, keys.shape[1])
+
+        breakdowns = [AttentionBreakdown() for _ in range(total)]
+        partials: list[PartialAttention] = []
+
+        if window_positions.size:
+            window_keys = keys[:, window_positions, :]
+            window_values = values[:, window_positions, :]
+            logits = np.einsum("skgd,kmd->skgm", grouped_q, window_keys) * scale
+            max_logit = logits.max(axis=3)
+            exps = np.exp(logits - max_logit[..., None])
+            sum_exp = exps.sum(axis=3)
+            output = np.einsum("skgm,kmd->skgd", exps, window_values) / sum_exp[..., None]
+            partials.append(
+                PartialAttention(
+                    output=output.reshape(total, head_dim).astype(np.float32),
+                    max_logit=max_logit.reshape(total).astype(np.float32),
+                    sum_exp=sum_exp.reshape(total).astype(np.float32),
+                )
+            )
+            for breakdown in breakdowns:
+                breakdown.num_window_tokens = int(window_positions.size)
+
+        if dedup is not None:
+            padded, mask, counts = dedup
+            kv_of_head = np.tile(np.arange(num_heads, dtype=np.int64) // group, num_sessions)
+            partials.append(
+                self._masked_retrieved_partial(
+                    queries.reshape(total, head_dim), keys, values, padded, mask, kv_of_head
+                )
+            )
+            for row, breakdown in enumerate(breakdowns):
+                breakdown.num_retrieved_tokens = int(counts[row])
+
+        local_lengths = [0 if lk is None else int(lk.shape[1]) for lk in local_keys]
+        max_local = max(local_lengths, default=0)
+        if max_local > 0:
+            padded_keys = np.zeros((num_sessions, num_kv_heads, max_local, head_dim), dtype=np.float32)
+            padded_values = np.zeros_like(padded_keys)
+            local_mask = np.zeros((num_sessions, max_local), dtype=bool)
+            for s, (lk, lv, length) in enumerate(zip(local_keys, local_values, local_lengths)):
+                if length:
+                    padded_keys[s, :, :length, :] = lk
+                    padded_values[s, :, :length, :] = lv
+                    local_mask[s, :length] = True
+            logits = np.einsum("skgd,skmd->skgm", grouped_q, padded_keys) * scale
+            logits = np.where(local_mask[:, None, None, :], logits, np.float32(-np.inf))
+            max_logit = logits.max(axis=3)
+            safe_max = np.where(np.isneginf(max_logit), np.float32(0.0), max_logit)
+            exps = np.where(
+                local_mask[:, None, None, :],
+                np.exp(logits - safe_max[..., None]),
+                np.float32(0.0),
+            )
+            sum_exp = exps.sum(axis=3)
+            denom = np.where(sum_exp == 0.0, np.float32(1.0), sum_exp)
+            output = np.einsum("skgm,skmd->skgd", exps, padded_values) / denom[..., None]
+            partials.append(
+                PartialAttention(
+                    output=output.reshape(total, head_dim).astype(np.float32),
+                    max_logit=max_logit.reshape(total).astype(np.float32),
+                    sum_exp=sum_exp.reshape(total).astype(np.float32),
+                )
+            )
+            for s, length in enumerate(local_lengths):
+                for head in range(num_heads):
+                    breakdowns[s * num_heads + head].num_local_tokens = length
+
+        merged = self._merge_per_head(partials, total, head_dim)
+        return merged.reshape(num_sessions, num_heads, head_dim), breakdowns
+
+    @staticmethod
+    def _dedup_and_pad(
+        positions_per_row: list[np.ndarray],
+        in_window: np.ndarray | None,
+        num_rows: int,
+        num_positions: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Window-dedup the per-row retrieved sets and pad them to one batch.
+
+        One concatenated mask filter plus one composite-key argsort replace a
+        per-row ``setdiff1d``: each row comes out sorted by position with
+        window overlap removed, matching the per-head path.  Rows must be
+        duplicate-free on input (retrieval outcomes are).  Returns
+        ``(padded (rows, max_len), mask (rows, max_len), counts (rows,))``,
+        or ``None`` when nothing survives the dedup.
+        """
+        lengths = np.fromiter(
+            (p.size for p in positions_per_row), dtype=np.int64, count=num_rows
+        )
+        if int(lengths.sum()) == 0:
+            return None
+        cat = np.concatenate([np.asarray(p, dtype=np.int64) for p in positions_per_row])
+        row_ids = np.repeat(np.arange(num_rows, dtype=np.int64), lengths)
+        if in_window is not None:
+            keep = ~in_window[cat]
+            cat, row_ids = cat[keep], row_ids[keep]
+            if cat.size == 0:
+                return None
+        order = np.argsort(row_ids * np.int64(num_positions) + cat)
+        cat, row_ids = cat[order], row_ids[order]
+        counts = np.bincount(row_ids, minlength=num_rows)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        cols = np.arange(cat.size, dtype=np.int64) - starts[row_ids]
+        max_len = int(counts.max())
+        padded = np.zeros((num_rows, max_len), dtype=np.int64)
+        mask = np.zeros((num_rows, max_len), dtype=bool)
+        padded[row_ids, cols] = cat
+        mask[row_ids, cols] = True
+        return padded, mask, counts
+
+    def _masked_retrieved_partial(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        padded: np.ndarray,
+        mask: np.ndarray,
+        kv_of_head: np.ndarray,
+    ) -> PartialAttention:
+        """Partial attention over padded per-row retrieved sets.
+
+        ``padded``/``mask`` come from :meth:`_dedup_and_pad`; ``kv_of_head``
+        maps each row to its KV head (session-major when rows stack several
+        sessions over one shared context).  Rows with nothing retrieved come
+        back as the per-head neutral element (``max_logit=-inf``,
+        ``sum_exp=0``).
         """
         num_heads, head_dim = queries.shape
-        lengths = [int(p.size) for p in positions_per_head]
-        max_len = max(lengths, default=0)
-        if max_len == 0:
-            return None
-        padded = np.zeros((num_heads, max_len), dtype=np.int64)
-        mask = np.zeros((num_heads, max_len), dtype=bool)
-        for head, positions in enumerate(positions_per_head):
-            padded[head, : positions.size] = positions
-            mask[head, : positions.size] = True
-        kv_of_head = np.arange(num_heads) // gqa_group_size
         gathered_keys = keys[kv_of_head[:, None], padded, :]
         gathered_values = values[kv_of_head[:, None], padded, :]
         scale = self.scale if self.scale is not None else 1.0 / np.sqrt(head_dim)
-        logits = np.einsum("hd,hmd->hm", queries, gathered_keys) * np.float32(scale)
+        logits = np.matmul(gathered_keys, queries[:, :, None])[..., 0] * np.float32(scale)
         logits = np.where(mask, logits, np.float32(-np.inf))
         max_logit = logits.max(axis=1)
         empty = np.isneginf(max_logit)
@@ -225,7 +379,7 @@ class DataCentricAttentionEngine:
         exps = np.where(mask, np.exp(logits - safe_max[:, None]), np.float32(0.0))
         sum_exp = exps.sum(axis=1)
         denom = np.where(sum_exp == 0.0, np.float32(1.0), sum_exp)
-        output = np.einsum("hm,hmd->hd", exps, gathered_values) / denom[:, None]
+        output = np.matmul(exps[:, None, :], gathered_values)[:, 0, :] / denom[:, None]
         return PartialAttention(
             output=output.astype(np.float32),
             max_logit=max_logit.astype(np.float32),

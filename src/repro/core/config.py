@@ -105,6 +105,39 @@ class AlayaDBConfig:
     pass per step (shared embedding/projection/MLP/LM-head matmuls) instead
     of one model call per request."""
 
+    cross_request_sparse_batching: bool = True
+    """Run one *sparse* decode round per scheduler step across decode-ready
+    sessions instead of re-entering each session's retrieval separately:
+    plan-compatible sessions (same stored context, reused prefix and
+    per-layer plan) stack their flat/coarse scans into a single gemm over the
+    concatenated query heads and merge window/retrieved/local partials with
+    one stacked attention-engine call per layer per group, while fine (DIPRS)
+    walks stay per session but run from one dispatch loop with shared
+    frontier scratch.  Off keeps one attention call per session inside the
+    batched forward pass (same outputs and stats — the test oracle).  Only
+    takes effect together with ``decode_batching``."""
+
+    dynamic_attention_policy: bool = False
+    """ALISA-style per-step dense/sparse switching: each decode round,
+    a session flips to exact dense attention while admission budget pressure
+    (committed / budget bytes) sits at or below the dense watermark —
+    accuracy costs nothing when memory is plentiful — and back to sparse
+    retrieval once pressure reaches the sparse watermark.  The watermark gap
+    plus a minimum dwell give hysteresis so sessions don't thrash.  Inactive
+    without ``scheduler_gpu_budget_bytes`` (pressure is undefined)."""
+
+    attention_policy_dense_watermark: float = 0.35
+    """Budget pressure at or below which a session may switch to dense
+    attention."""
+
+    attention_policy_sparse_watermark: float = 0.75
+    """Budget pressure at or above which a session may switch back to sparse
+    attention."""
+
+    attention_policy_min_dwell_steps: int = 4
+    """Decode steps a session must spend in its current attention mode
+    before the policy may switch it again."""
+
     preemption: bool = False
     """Under the ``"slo"`` policy: when a queued request's TTFT slack goes
     critical and every in-flight slot is taken, pause the in-flight request
@@ -160,6 +193,18 @@ class AlayaDBConfig:
             raise ConfigError(
                 f"preemption_slack_seconds must be non-negative, "
                 f"got {self.preemption_slack_seconds}"
+            )
+        if not 0.0 <= self.attention_policy_dense_watermark <= self.attention_policy_sparse_watermark:
+            raise ConfigError(
+                "attention policy watermarks must satisfy "
+                "0 <= dense_watermark <= sparse_watermark, got "
+                f"dense={self.attention_policy_dense_watermark} "
+                f"sparse={self.attention_policy_sparse_watermark}"
+            )
+        if self.attention_policy_min_dwell_steps < 0:
+            raise ConfigError(
+                f"attention_policy_min_dwell_steps must be non-negative, "
+                f"got {self.attention_policy_min_dwell_steps}"
             )
         if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
             raise ConfigError("context_store_budget_bytes must be positive when set")

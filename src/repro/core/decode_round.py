@@ -1,0 +1,286 @@
+"""Cross-request sparse decode rounds (scheduler-level batching).
+
+PRs 3/5 batched sparse decode *within* a session — across query heads of one
+layer.  This module batches *across sessions*: when the scheduler serves
+several decode-ready requests with one forward pass, a
+:class:`CrossRequestDecodeRound` executes each layer's attention stacked over
+all plan-compatible sessions instead of re-entering Python per request.
+
+* Sessions sharing a stored context, reused-prefix length and per-layer plan
+  form a **compatibility group**.  Their flat/coarse retrieval scans stack
+  into one gemm over the concatenated query heads
+  (``PlanExecutor.retrieve_heads`` with an explicit ``kv_head_of_query``
+  mapping), and their window/retrieved/local partials merge with one
+  ``DataCentricAttentionEngine.stacked_layer_output`` call per layer per
+  group.  Fine (DIPRS) graph walks stay per session — frontier expansion is
+  data-dependent — but run from one dispatch loop sharing the first
+  session's executor (and through it its reusable frontier scratch), their
+  outcomes flowing into a single stats sink.
+* Sessions whose layer runs dense attention, whose plan matches no one
+  else's, or whose config opted out keep the exact per-session path, so
+  outputs and integer :class:`~repro.core.session.DecodeStepStats` always
+  match the per-session fallback.
+
+:class:`DynamicAttentionPolicy` is the ALISA-style dense/sparse switcher:
+while admission budget pressure is low a session may run exact dense
+attention (accuracy costs nothing when memory is plentiful); as pressure
+rises past the sparse watermark it flips back to retrieval.  Watermark
+hysteresis plus a minimum dwell keep sessions from thrashing between modes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..query.types import IndexKind
+from .session import Session, decode_stats_from
+
+__all__ = [
+    "StageTimings",
+    "PolicyState",
+    "DynamicAttentionPolicy",
+    "CrossRequestDecodeRound",
+]
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock split of decode work across the serving stack.
+
+    ``retrieval_seconds`` covers index scans/walks (and their seeds),
+    ``merge_seconds`` the partial-attention computation and merge,
+    ``dense_seconds`` everything else in the forward pass (embedding,
+    projections, MLP, LM head, full-attention sessions), and ``rounds`` the
+    number of decode rounds the split was measured over.
+    """
+
+    retrieval_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    dense_seconds: float = 0.0
+    rounds: int = 0
+
+    @property
+    def sparse_seconds(self) -> float:
+        return self.retrieval_seconds + self.merge_seconds
+
+
+@dataclass(frozen=True)
+class PolicyState:
+    """One session's position in the dense/sparse hysteresis loop."""
+
+    mode: str = "sparse"
+    steps_in_mode: int = 0
+
+
+class DynamicAttentionPolicy:
+    """Per-session dense/sparse switching under budget pressure (ALISA-style).
+
+    The transition function is deliberately pure (``step``) so its
+    properties — monotonicity in pressure, the hysteresis band, the dwell
+    bound — are directly testable: pressure at or above
+    ``sparse_watermark`` targets sparse, at or below ``dense_watermark``
+    targets dense, anything between keeps the current mode, and a switch is
+    only taken after ``min_dwell_steps`` steps in the current mode.
+    """
+
+    def __init__(
+        self,
+        dense_watermark: float = 0.35,
+        sparse_watermark: float = 0.75,
+        min_dwell_steps: int = 4,
+    ):
+        if not 0.0 <= dense_watermark <= sparse_watermark:
+            raise ValueError(
+                f"watermarks must satisfy 0 <= dense <= sparse, "
+                f"got dense={dense_watermark} sparse={sparse_watermark}"
+            )
+        if min_dwell_steps < 0:
+            raise ValueError(f"min_dwell_steps must be non-negative, got {min_dwell_steps}")
+        self.dense_watermark = dense_watermark
+        self.sparse_watermark = sparse_watermark
+        self.min_dwell_steps = min_dwell_steps
+        self._states: dict[int, PolicyState] = {}
+
+    def initial(self) -> PolicyState:
+        """A fresh session starts sparse with its dwell already served, so
+        the first decode step may take the dense mode if pressure is low."""
+        return PolicyState(mode="sparse", steps_in_mode=self.min_dwell_steps)
+
+    def step(self, state: PolicyState, pressure: float) -> PolicyState:
+        """Advance one decode step under ``pressure`` (pure transition)."""
+        target = state.mode
+        if pressure >= self.sparse_watermark:
+            target = "sparse"
+        elif pressure <= self.dense_watermark:
+            target = "dense"
+        if target != state.mode and state.steps_in_mode >= self.min_dwell_steps:
+            return PolicyState(mode=target, steps_in_mode=1)
+        return PolicyState(mode=state.mode, steps_in_mode=state.steps_in_mode + 1)
+
+    def apply(self, key: int, session: Session, pressure: float) -> str:
+        """Advance the tracked state for ``key`` and set the session's
+        decode-mode override accordingly; returns the mode chosen."""
+        state = self.step(self._states.get(key) or self.initial(), pressure)
+        self._states[key] = state
+        session.decode_mode_override = "dense" if state.mode == "dense" else None
+        return state.mode
+
+    def forget(self, key: int) -> None:
+        """Drop a finished/cancelled request's state."""
+        self._states.pop(key, None)
+
+
+class CrossRequestDecodeRound:
+    """Executes one decode step's attention stacked across sessions.
+
+    Plugged into ``TransformerModel.decode_batch`` as the ``attention_round``
+    hook: the model calls :meth:`layer_attention` once per layer with the
+    projected Q/K/V of every request, and receives the per-request attention
+    rows back.  ``sessions`` must align with the ``caches`` the model passes.
+    """
+
+    def __init__(self, sessions: list[Session], timings: StageTimings | None = None):
+        self.sessions = list(sessions)
+        self.timings = timings
+
+    def layer_attention(
+        self,
+        layer: int,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        caches: list,
+    ) -> np.ndarray:
+        """Attention rows ``(batch, num_query_heads * head_dim)`` for one layer.
+
+        ``q``/``k``/``v`` are ``(heads, batch, head_dim)`` — one token per
+        request.  Every cache gets its KV appended first (sessions are
+        independent, so batching the appends ahead of the attention leaves
+        each session's view unchanged), then sessions are classified into
+        compatibility groups and each group's retrieval + merge runs stacked.
+        """
+        batch = len(caches)
+        num_heads, _, head_dim = q.shape
+        rows = np.empty((batch, num_heads * head_dim), dtype=np.float32)
+        per_q: list[np.ndarray] = []
+        for i, cache in enumerate(caches):
+            qi = q[:, i : i + 1, :]
+            cache.update_query(qi, k[:, i : i + 1, :], v[:, i : i + 1, :], layer)
+            per_q.append(qi)
+
+        groups, singles = self._classify(layer)
+        for i in singles:
+            attn = caches[i].attention(per_q[i], layer)
+            rows[i] = attn[:, 0, :].reshape(-1)
+        for members in groups:
+            outputs = self._run_group(layer, members, per_q)
+            for (i, _session, _plan, _inputs), output in zip(members, outputs):
+                rows[i] = output.reshape(-1)
+        return rows
+
+    # ------------------------------------------------------------------
+    # grouping
+    # ------------------------------------------------------------------
+    def _classify(self, layer: int):
+        """Split sessions into stacked groups and per-session singles.
+
+        The compatibility key pins everything the stacked kernels assume is
+        shared: the stored context's KV arrays (by identity), the reused
+        prefix, the exact plan (frozen dataclass — hashable), and the window
+        geometry.  Everything else — dense layers, unbatched configs,
+        one-member groups — goes down the unchanged per-session path.
+        """
+        singles: list[int] = []
+        by_key: dict[tuple, list] = {}
+        for i, session in enumerate(self.sessions):
+            plan = session.sparse_decode_plan(layer)
+            if plan is None or not session.config.sparse_head_batching:
+                singles.append(i)
+                continue
+            inputs = session.sparse_layer_inputs(layer)
+            key = (
+                id(inputs.data.keys),
+                inputs.prefix,
+                plan,
+                session.config.window_initial_tokens,
+                session.config.window_last_tokens,
+            )
+            by_key.setdefault(key, []).append((i, session, plan, inputs))
+        groups = []
+        for members in by_key.values():
+            if len(members) == 1:
+                singles.append(members[0][0])
+            else:
+                groups.append(members)
+        return groups, sorted(singles)
+
+    # ------------------------------------------------------------------
+    # stacked execution
+    # ------------------------------------------------------------------
+    def _run_group(self, layer: int, members: list, per_q: list[np.ndarray]) -> np.ndarray:
+        """One retrieval + one merge for a whole compatibility group.
+
+        Returns ``(len(members), num_query_heads, head_dim)`` attention
+        outputs in member order, and records each member session's
+        :class:`DecodeStepStats` exactly as the per-session path would.
+        """
+        first_session = members[0][1]
+        plan = members[0][2]
+        shared = members[0][3]
+        num_sessions = len(members)
+        queries = np.stack([per_q[i][:, 0, :] for i, *_ in members])
+        num_heads = queries.shape[1]
+        group_size = shared.data.gqa_group_size
+
+        timings = self.timings
+        started = time.perf_counter() if timings is not None else 0.0
+        if plan.index_kind == IndexKind.FINE:
+            # frontier walks are data-dependent per session; dispatch them
+            # from one loop through the first session's executor so every
+            # walk in the round reuses one visited-bitmap scratch
+            executor = first_session.executor
+            outcomes = []
+            for (i, session, _plan, inputs) in members:
+                session_queries = per_q[i][:, 0, :]
+                # retrieve_heads decides whether the plan consumes the seeds
+                seeds = session.fine_window_seeds(inputs, session_queries)
+                outcomes.extend(
+                    executor.retrieve_heads(
+                        plan, shared.data, session_queries, window_max_scores=seeds
+                    )
+                )
+        else:
+            stacked_queries = queries.reshape(num_sessions * num_heads, -1)
+            kv_head_of_query = np.tile(
+                np.arange(num_heads, dtype=np.int64) // group_size, num_sessions
+            )
+            outcomes = first_session.executor.retrieve_heads(
+                plan, shared.data, stacked_queries, kv_head_of_query=kv_head_of_query
+            )
+        retrieved = [outcome.positions[outcome.positions < shared.prefix] for outcome in outcomes]
+        if timings is not None:
+            now = time.perf_counter()
+            timings.retrieval_seconds += now - started
+            started = now
+
+        outputs, breakdowns = first_session.engine.stacked_layer_output(
+            queries,
+            shared.prefix_keys,
+            shared.prefix_values,
+            window_positions=shared.window_positions,
+            retrieved_positions=retrieved,
+            local_keys=[inp.local_keys if inp.has_local else None for *_, inp in members],
+            local_values=[inp.local_values if inp.has_local else None for *_, inp in members],
+        )
+        if timings is not None:
+            timings.merge_seconds += time.perf_counter() - started
+
+        for s, (_i, session, _plan, _inputs) in enumerate(members):
+            window = slice(s * num_heads, (s + 1) * num_heads)
+            session.record_decode_stats(
+                decode_stats_from(outcomes[window], breakdowns[window]), layer
+            )
+        return outputs

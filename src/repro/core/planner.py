@@ -18,7 +18,7 @@ from ..errors import PlanningError, UnsupportedQueryError
 from ..index.coarse import CoarseBlockIndex
 from ..index.flat import FlatIndex
 from ..index.roargraph import RoarGraphIndex
-from ..query.dipr import diprs_search, diprs_search_group, exact_dipr
+from ..query.dipr import FrontierScratch, diprs_search, diprs_search_group, exact_dipr
 from ..query.filtered import filtered_diprs_search, filtered_diprs_search_group, predicate_mask
 from ..query.topk import graph_topk_search
 from ..query.types import DIPRQuery, FilterPredicate, IndexKind, QueryKind, TopKQuery
@@ -126,6 +126,9 @@ class PlanExecutor:
     def __init__(self, coarse_num_blocks: int = 32, fine_frontier_batching: bool = True):
         self.coarse_num_blocks = coarse_num_blocks
         self.fine_frontier_batching = fine_frontier_batching
+        #: reusable visited-bitmap scratch shared by every group-frontier walk
+        #: this executor dispatches (one decode round may run many walks)
+        self._scratch = FrontierScratch()
 
     def retrieve(
         self,
@@ -155,6 +158,7 @@ class PlanExecutor:
         data: LayerIndexData,
         queries: np.ndarray,
         window_max_scores: np.ndarray | None = None,
+        kv_head_of_query: np.ndarray | None = None,
     ) -> list[RetrievalOutcome]:
         """Run ``plan`` for every query head of one layer in one call.
 
@@ -169,6 +173,15 @@ class PlanExecutor:
         fall back to one traversal per head, vectorized at the hop level
         inside ``diprs_search``.  Entry ``h`` matches :meth:`retrieve` for
         query head ``h``.
+
+        ``kv_head_of_query`` is the multi-session entry point: when a decode
+        round stacks several sessions' query heads over one shared context,
+        it maps each stacked row to its KV head (the default ``row //
+        gqa_group_size`` only holds for a single session's heads).  All rows
+        probing one KV head — across every stacked session — then share a
+        single scan, which is the cross-request retrieval gemm.  Only the
+        scan-based kinds accept the mapping; fine walks stay per session and
+        are dispatched by the round coordinator.
         """
         if plan.is_full_attention:
             raise PlanningError("full-attention plans are executed by the attention engine, not retrieval")
@@ -184,12 +197,25 @@ class PlanExecutor:
                     f"window_max_scores must have shape ({num_heads},) — one seed "
                     f"per query head — got {window_max_scores.shape}"
                 )
+        if kv_head_of_query is not None:
+            kv_head_of_query = np.asarray(kv_head_of_query, dtype=np.int64)
+            if kv_head_of_query.shape != (num_heads,):
+                raise ValueError(
+                    f"kv_head_of_query must have shape ({num_heads},), "
+                    f"got {kv_head_of_query.shape}"
+                )
 
         if plan.index_kind == IndexKind.FLAT:
-            return self._retrieve_flat_heads(plan, data, queries, num_tokens)
+            return self._retrieve_flat_heads(plan, data, queries, num_tokens, kv_head_of_query)
         if plan.index_kind == IndexKind.COARSE:
-            return self._retrieve_coarse_heads(plan, data, queries)
+            return self._retrieve_coarse_heads(plan, data, queries, kv_head_of_query)
         if plan.index_kind == IndexKind.FINE:
+            if kv_head_of_query is not None:
+                raise UnsupportedQueryError(
+                    "stacked fine retrieval is dispatched per session by the "
+                    "decode round; kv_head_of_query only applies to the "
+                    "scan-based index kinds"
+                )
             return self._retrieve_fine_heads(plan, data, queries, window_max_scores, num_tokens)
         raise UnsupportedQueryError(f"unknown index kind {plan.index_kind!r}")
 
@@ -234,6 +260,7 @@ class PlanExecutor:
                     capacity_threshold=plan.query.capacity_threshold,
                     window_max_scores=seeds,
                     max_tokens=plan.query.max_tokens,
+                    scratch=self._scratch,
                 )
             else:
                 results, stats = diprs_search_group(
@@ -245,6 +272,7 @@ class PlanExecutor:
                     capacity_threshold=plan.query.capacity_threshold,
                     window_max_scores=seeds,
                     max_tokens=plan.query.max_tokens,
+                    scratch=self._scratch,
                 )
             for slot, (head, result) in enumerate(zip(heads, results)):
                 # the walk is shared: attribute its distance computations and
@@ -259,10 +287,19 @@ class PlanExecutor:
                 )
         return outcomes
 
-    def _heads_by_kv_head(self, data: LayerIndexData, num_heads: int) -> dict[int, list[int]]:
+    def _heads_by_kv_head(
+        self,
+        data: LayerIndexData,
+        num_heads: int,
+        kv_head_of_query: np.ndarray | None = None,
+    ) -> dict[int, list[int]]:
         groups: dict[int, list[int]] = {}
         for head in range(num_heads):
-            groups.setdefault(data.kv_head_for_query_head(head), []).append(head)
+            if kv_head_of_query is not None:
+                kv_head = int(kv_head_of_query[head])
+            else:
+                kv_head = data.kv_head_for_query_head(head)
+            groups.setdefault(kv_head, []).append(head)
         return groups
 
     def _retrieve_flat_heads(
@@ -271,10 +308,11 @@ class PlanExecutor:
         data: LayerIndexData,
         queries: np.ndarray,
         num_tokens: int,
+        kv_head_of_query: np.ndarray | None = None,
     ) -> list[RetrievalOutcome]:
         allowed = predicate_mask(num_tokens, plan.predicate)
         outcomes: list[RetrievalOutcome | None] = [None] * queries.shape[0]
-        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0]).items():
+        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0], kv_head_of_query).items():
             index = data.flat_index_for_kv_head(kv_head)
             if isinstance(plan.query, DIPRQuery):
                 results = index.search_range_batch(queries[heads], plan.query.beta, allowed=allowed)
@@ -295,13 +333,14 @@ class PlanExecutor:
         plan: ExecutionPlan,
         data: LayerIndexData,
         queries: np.ndarray,
+        kv_head_of_query: np.ndarray | None = None,
     ) -> list[RetrievalOutcome]:
         if isinstance(plan.query, DIPRQuery):
             raise UnsupportedQueryError("the coarse index does not support DIPR queries (Table 4)")
         if not isinstance(plan.query, TopKQuery):
             raise UnsupportedQueryError(f"coarse index cannot process {plan.query!r}")
         outcomes: list[RetrievalOutcome | None] = [None] * queries.shape[0]
-        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0]).items():
+        for kv_head, heads in self._heads_by_kv_head(data, queries.shape[0], kv_head_of_query).items():
             index = data.coarse_index_for_kv_head(kv_head)
             num_blocks = max(1, min(self.coarse_num_blocks, index.num_blocks))
             per_head_positions = index.selected_positions_batch(queries[heads], num_blocks)

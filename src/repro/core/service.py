@@ -58,6 +58,7 @@ from ..simulator.slo import SLO, SLOReport, SLOTracker
 from ..storage.buffer_manager import BufferStats
 from .config import AlayaDBConfig
 from .db import DB
+from .decode_round import CrossRequestDecodeRound, DynamicAttentionPolicy, StageTimings
 from .handles import ChatSession, RequestHandle
 from .session import Session
 
@@ -101,6 +102,9 @@ class ServiceStats:
     """Requests the client cancelled before they finished."""
     buffer: BufferStats | None = None
     """Live view of the DB's context-residency pool counters."""
+    decode_timings: StageTimings | None = None
+    """Live per-stage decode wall-time split (retrieval vs. partial-attention
+    merge vs. dense model math) summed over every decode round served."""
 
     @property
     def num_requests(self) -> int:
@@ -159,7 +163,10 @@ class InferenceService:
         self.loop = GenerationLoop(model)
         self.cost_model = cost_model or CostModel()
         self.store_conversations = store_conversations
-        self.stats = ServiceStats(buffer=self.db.buffer_stats)
+        self.decode_timings = StageTimings()
+        """Per-stage decode wall time (retrieval / merge / dense) across all
+        decode rounds served so far; surfaced through :meth:`memory_report`."""
+        self.stats = ServiceStats(buffer=self.db.buffer_stats, decode_timings=self.decode_timings)
         self.slo_tracker = SLOTracker(self.config.slo)
         self.scheduler = RequestScheduler(
             backend=self,
@@ -170,6 +177,15 @@ class InferenceService:
             decode_batching=self.config.decode_batching,
             preemption=self.config.preemption,
             preemption_slack_seconds=self.config.preemption_slack_seconds,
+        )
+        self._attention_policy = (
+            DynamicAttentionPolicy(
+                dense_watermark=self.config.attention_policy_dense_watermark,
+                sparse_watermark=self.config.attention_policy_sparse_watermark,
+                min_dwell_steps=self.config.attention_policy_min_dwell_steps,
+            )
+            if self.config.dynamic_attention_policy
+            else None
         )
         self._results: OrderedDict[int, tuple[GenerationResult, RequestRecord]] = OrderedDict()
         self._failures: OrderedDict[int, str] = OrderedDict()
@@ -344,6 +360,7 @@ class InferenceService:
         # an empty suffix (full prefix reuse) still needs one forward pass to
         # produce first-token logits, exactly like GenerationLoop.run_tokens
         pending = list(truncated) if truncated else [self.loop.tokenizer.bos_id]
+        session.timing_sink = self.decode_timings
         inflight = InFlightRequest(
             request=request,
             session=session,
@@ -373,25 +390,68 @@ class InferenceService:
                 # alone; its first-token latency is the prefill completion
                 inflight.first_token_seconds = time.monotonic() - inflight.admitted_at
 
+    def _apply_attention_policy(self, inflights: Sequence[InFlightRequest]) -> None:
+        """Advance the dynamic dense/sparse policy for every decoding session.
+
+        Pressure is the admission controller's committed-to-budget ratio;
+        without a budget the policy has nothing to react to and stays off
+        (overrides cleared so sessions keep their planned sparse routing).
+        """
+        policy = self._attention_policy
+        if policy is None:
+            return
+        budget = self.scheduler.admission.budget_bytes
+        if not budget:
+            for inflight in inflights:
+                inflight.session.decode_mode_override = None
+            return
+        pressure = self.scheduler.admission.committed_bytes / budget
+        for inflight in inflights:
+            policy.apply(inflight.request.request_id, inflight.session, pressure)
+
     def decode_step(self, inflight: InFlightRequest) -> None:
+        self._apply_attention_policy([inflight])
+        sparse_before = self.decode_timings.sparse_seconds
         start = time.perf_counter()
         logits = self.model.decode_step(inflight.generated[-1], inflight.session)
-        inflight.decode_seconds.append(time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        self.decode_timings.dense_seconds += max(
+            wall - (self.decode_timings.sparse_seconds - sparse_before), 0.0
+        )
+        self.decode_timings.rounds += 1
+        inflight.decode_seconds.append(wall)
         self._append_token(inflight, sample_token(logits, self.loop.sampling, inflight.rng))
 
     def decode_batch(self, inflights: Sequence[InFlightRequest]) -> None:
         """One batched forward pass over every decode-ready request.
 
         The shared dense work (embedding, projections, MLP, LM head) runs
-        once over the stacked batch; each request's attention and KV append
-        go through its own session.  The wall time is split evenly across
-        the batch for per-request TPOT accounting.
+        once over the stacked batch; with ``cross_request_sparse_batching``
+        a :class:`~repro.core.decode_round.CrossRequestDecodeRound` also
+        stacks plan-compatible sessions' retrieval and partial-attention
+        merges per layer, so the whole round is one retrieval + attention
+        pass rather than one per request.  The wall time is split evenly
+        across the batch for per-request TPOT accounting.
         """
+        self._apply_attention_policy(inflights)
+        attention_round = None
+        if self.config.cross_request_sparse_batching and len(inflights) > 1:
+            attention_round = CrossRequestDecodeRound(
+                [fl.session for fl in inflights], timings=self.decode_timings
+            )
+        sparse_before = self.decode_timings.sparse_seconds
         start = time.perf_counter()
         logits = self.model.decode_batch(
-            [fl.generated[-1] for fl in inflights], [fl.session for fl in inflights]
+            [fl.generated[-1] for fl in inflights],
+            [fl.session for fl in inflights],
+            attention_round=attention_round,
         )
-        per_request = (time.perf_counter() - start) / len(inflights)
+        wall = time.perf_counter() - start
+        self.decode_timings.dense_seconds += max(
+            wall - (self.decode_timings.sparse_seconds - sparse_before), 0.0
+        )
+        self.decode_timings.rounds += 1
+        per_request = wall / len(inflights)
         for inflight, row in zip(inflights, logits):
             inflight.decode_seconds.append(per_request)
             self._append_token(inflight, sample_token(row, self.loop.sampling, inflight.rng))
@@ -406,6 +466,8 @@ class InferenceService:
     def finish_request(self, inflight: InFlightRequest) -> None:
         request = inflight.request
         self._live.pop(request.request_id, None)
+        if self._attention_policy is not None:
+            self._attention_policy.forget(request.request_id)
         ttft = (
             inflight.first_token_seconds
             if inflight.first_token_seconds is not None
@@ -469,6 +531,8 @@ class InferenceService:
         detached — at preemption time, so its close here unpins nothing.)
         """
         self._live.pop(inflight.request.request_id, None)
+        if self._attention_policy is not None:
+            self._attention_policy.forget(inflight.request.request_id)
         inflight.session.close()
 
     def fail_request(self, request: Request, error: Exception) -> None:
@@ -567,4 +631,8 @@ class InferenceService:
             "buffer_hit_ratio": buffer.hit_ratio,
             "pending_index_builds": self.db.num_pending_index_builds,
             "admission_committed_bytes": self.scheduler.admission.committed_bytes,
+            "decode_retrieval_seconds": self.decode_timings.retrieval_seconds,
+            "decode_merge_seconds": self.decode_timings.merge_seconds,
+            "decode_dense_seconds": self.decode_timings.dense_seconds,
+            "decode_rounds": self.decode_timings.rounds,
         }

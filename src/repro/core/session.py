@@ -14,6 +14,7 @@ and asks it for attention outputs.  Unlike ``DynamicCache`` the session
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +30,7 @@ from ..query.types import IndexKind
 from .planner import ExecutionPlan, LayerIndexData, PlanExecutor
 from .window_cache import WindowCache
 
-__all__ = ["DecodeStepStats", "Session"]
+__all__ = ["DecodeStepStats", "SparseLayerInputs", "Session", "decode_stats_from"]
 
 
 @dataclass
@@ -56,6 +57,42 @@ class DecodeStepStats:
     @property
     def mean_selected_per_head(self) -> float:
         return self.num_selected_tokens / max(self.num_heads, 1)
+
+
+@dataclass
+class SparseLayerInputs:
+    """Everything one layer's sparse decode needs, resolved once per step.
+
+    Produced by :meth:`Session.sparse_layer_inputs` so that an external round
+    coordinator (cross-request batching) and the session's own hot path build
+    their retrieval + merge calls from the same resolved state.
+    """
+
+    plan: ExecutionPlan
+    data: LayerIndexData
+    prefix: int
+    prefix_keys: np.ndarray
+    prefix_values: np.ndarray
+    window_positions: np.ndarray
+    local_keys: np.ndarray
+    local_values: np.ndarray
+
+    @property
+    def has_local(self) -> bool:
+        return self.local_keys.shape[1] > 0
+
+
+def decode_stats_from(outcomes, breakdowns) -> DecodeStepStats:
+    """Fold per-head retrieval outcomes + attention breakdowns into step stats."""
+    stats = DecodeStepStats()
+    for outcome, breakdown in zip(outcomes, breakdowns):
+        stats.num_selected_tokens += breakdown.num_retrieved_tokens
+        stats.num_distance_computations += outcome.num_distance_computations
+        stats.num_graph_hops += outcome.num_hops
+        stats.num_window_tokens += breakdown.num_window_tokens
+        stats.num_local_tokens += breakdown.num_local_tokens
+        stats.num_heads += 1
+    return stats
 
 
 @dataclass
@@ -111,6 +148,14 @@ class Session:
         self.last_decode_stats = DecodeStepStats()
         self.total_decode_stats = DecodeStepStats()
         self.num_decode_steps = 0
+        self.decode_mode_override: str | None = None
+        """``"dense"`` forces exact attention for decode steps (set per step
+        by the dynamic attention policy); ``None`` leaves routing to the
+        optimizer's plan."""
+        self.timing_sink = None
+        """Optional object with ``retrieval_seconds`` / ``merge_seconds``
+        accumulators (a :class:`~repro.core.decode_round.StageTimings`); when
+        set, the sparse decode path reports its per-stage wall time there."""
 
     # ------------------------------------------------------------------
     # lifecycle and introspection
@@ -328,6 +373,8 @@ class Session:
         return self._plans_for_context()[layer]
 
     def _use_sparse_path(self, layer: int) -> bool:
+        if self.decode_mode_override == "dense":
+            return False
         if not self.is_connected:
             return False
         if layer not in self.context.snapshot.keys:
@@ -379,6 +426,75 @@ class Session:
             return self._sparse_attention_batched(q, layer)
         return self._sparse_attention_per_head(q, layer)
 
+    # ------------------------------------------------------------------
+    # externally-driven sparse stepping (cross-request decode rounds)
+    # ------------------------------------------------------------------
+    def sparse_decode_plan(self, layer: int) -> ExecutionPlan | None:
+        """The plan a single-token decode at ``layer`` would execute.
+
+        ``None`` means the dense path serves this layer — the session is not
+        connected, the plan is full attention, a needed index is missing, or
+        the dynamic attention policy pinned the session dense.  A round
+        coordinator uses this to classify sessions before stacking work.
+        """
+        self._require_open()
+        if not self._use_sparse_path(layer):
+            return None
+        return self._plans_for_context()[layer]
+
+    def sparse_layer_inputs(self, layer: int) -> SparseLayerInputs:
+        """Resolve the state one sparse decode step of ``layer`` reads.
+
+        Only valid when :meth:`sparse_decode_plan` returned a plan; the local
+        snapshot reflects KV appended so far, so call this *after*
+        ``update_query`` for the step's token.
+        """
+        plan = self._plans_for_context()[layer]
+        data = self._layer_index_data(layer)
+        local_keys, local_values = self.local_snapshot(layer)
+        prefix = self.reused_prefix_length
+        return SparseLayerInputs(
+            plan=plan,
+            data=data,
+            prefix=prefix,
+            prefix_keys=self.context.keys(layer)[:, :prefix, :],
+            prefix_values=self.context.values(layer)[:, :prefix, :],
+            window_positions=self.window.positions(prefix),
+            local_keys=local_keys,
+            local_values=local_values,
+        )
+
+    def fine_window_seeds(self, inputs: SparseLayerInputs, queries: np.ndarray) -> np.ndarray:
+        """Per-head window seeds for a fine (DIPRS) retrieval at this step.
+
+        One batched matmul over the window plus — when local KV exists — the
+        same per-head matvec the per-head fallback computes: the seed must be
+        bit-identical across execution modes because it drives DIPRS pruning
+        (and through it the integer work stats).
+        """
+        dims = self._dims
+        window_max = self.window.max_window_scores(
+            queries, inputs.prefix_keys, inputs.window_positions
+        )
+        if inputs.has_local:
+            for head in range(dims.num_query_heads):
+                local_best = float(
+                    (inputs.local_keys[head // dims.gqa_group_size] @ queries[head]).max()
+                )
+                window_max[head] = max(float(window_max[head]), local_best)
+        return window_max
+
+    def record_decode_stats(self, stats: DecodeStepStats, layer: int) -> None:
+        """Account one layer's decode work (steps counted on the last layer).
+
+        Public so a cross-request round coordinator can attribute the work it
+        executed on this session's behalf.
+        """
+        self.last_decode_stats = stats
+        self.total_decode_stats.merge(stats)
+        if layer == self.num_layers - 1:
+            self.num_decode_steps += 1
+
     def _sparse_attention_batched(self, q: np.ndarray, layer: int) -> np.ndarray:
         """The head-batched sparse decode hot path.
 
@@ -392,51 +508,38 @@ class Session:
         (``DataCentricAttentionEngine.layer_output``).  Outputs and
         :class:`DecodeStepStats` match the per-head fallback.
         """
-        dims = self._dims
-        plan = self._plans_for_context()[layer]
-        data = self._layer_index_data(layer)
-        local_keys, local_values = self.local_snapshot(layer)
-        prefix = self.reused_prefix_length
-        prefix_keys = self.context.keys(layer)[:, :prefix, :]
-        prefix_values = self.context.values(layer)[:, :prefix, :]
-        window_positions = self.window.positions(prefix)
-        has_local = local_keys.shape[1] > 0
-
+        inputs = self.sparse_layer_inputs(layer)
         queries = q[:, 0, :]
         # only the fine (DIPRS) path consumes the window seeds; skip the
         # batched seed matmuls for flat/coarse plans
         window_max = None
-        if plan.index_kind == IndexKind.FINE:
-            window_max = self.window.max_window_scores(queries, prefix_keys, window_positions)
-            if has_local:
-                # same per-head matvec as the fallback path: the seed must be
-                # bit-identical across modes (it drives DIPRS pruning)
-                for head in range(dims.num_query_heads):
-                    local_best = float((local_keys[head // dims.gqa_group_size] @ queries[head]).max())
-                    window_max[head] = max(float(window_max[head]), local_best)
+        if inputs.plan.index_kind == IndexKind.FINE:
+            window_max = self.fine_window_seeds(inputs, queries)
 
-        outcomes = self.executor.retrieve_heads(plan, data, queries, window_max_scores=window_max)
-        retrieved = [outcome.positions[outcome.positions < prefix] for outcome in outcomes]
+        sink = self.timing_sink
+        started = time.perf_counter() if sink is not None else 0.0
+        outcomes = self.executor.retrieve_heads(
+            inputs.plan, inputs.data, queries, window_max_scores=window_max
+        )
+        retrieved = [outcome.positions[outcome.positions < inputs.prefix] for outcome in outcomes]
+        if sink is not None:
+            now = time.perf_counter()
+            sink.retrieval_seconds += now - started
+            started = now
 
         head_outputs, breakdowns = self.engine.layer_output(
             queries,
-            prefix_keys,
-            prefix_values,
-            window_positions=window_positions,
+            inputs.prefix_keys,
+            inputs.prefix_values,
+            window_positions=inputs.window_positions,
             retrieved_positions=retrieved,
-            local_keys=local_keys if has_local else None,
-            local_values=local_values if has_local else None,
+            local_keys=inputs.local_keys if inputs.has_local else None,
+            local_values=inputs.local_values if inputs.has_local else None,
         )
+        if sink is not None:
+            sink.merge_seconds += time.perf_counter() - started
 
-        stats = DecodeStepStats()
-        for outcome, breakdown in zip(outcomes, breakdowns):
-            stats.num_selected_tokens += breakdown.num_retrieved_tokens
-            stats.num_distance_computations += outcome.num_distance_computations
-            stats.num_graph_hops += outcome.num_hops
-            stats.num_window_tokens += breakdown.num_window_tokens
-            stats.num_local_tokens += breakdown.num_local_tokens
-            stats.num_heads += 1
-        self._record_decode_stats(stats, layer)
+        self.record_decode_stats(decode_stats_from(outcomes, breakdowns), layer)
         return head_outputs[:, None, :]
 
     def _sparse_attention_per_head(self, q: np.ndarray, layer: int) -> np.ndarray:
@@ -451,6 +554,7 @@ class Session:
         prefix = self.reused_prefix_length
         window_positions = self.window.positions(prefix)
 
+        sink = self.timing_sink
         outputs = np.zeros((dims.num_query_heads, 1, dims.head_dim), dtype=np.float32)
         stats = DecodeStepStats()
         for head in range(dims.num_query_heads):
@@ -461,11 +565,16 @@ class Session:
             local_k = local_keys[kv_head] if local_keys.shape[1] else None
             local_v = local_values[kv_head] if local_values.shape[1] else None
 
+            started = time.perf_counter() if sink is not None else 0.0
             window_max = self.window.max_window_score(query, head_keys, window_positions)
             if local_k is not None and local_k.shape[0] > 0:
                 window_max = max(window_max, float((local_k @ query).max()))
             outcome = self.executor.retrieve(plan, data, head, query, window_max_score=window_max)
             retrieved = outcome.positions[outcome.positions < prefix]
+            if sink is not None:
+                now = time.perf_counter()
+                sink.retrieval_seconds += now - started
+                started = now
 
             output, breakdown = self.engine.head_output(
                 query,
@@ -476,6 +585,8 @@ class Session:
                 local_keys=local_k,
                 local_values=local_v,
             )
+            if sink is not None:
+                sink.merge_seconds += time.perf_counter() - started
             outputs[head, 0, :] = output
             stats.num_selected_tokens += breakdown.num_retrieved_tokens
             stats.num_distance_computations += outcome.num_distance_computations
@@ -484,11 +595,5 @@ class Session:
             stats.num_local_tokens += breakdown.num_local_tokens
             stats.num_heads += 1
 
-        self._record_decode_stats(stats, layer)
+        self.record_decode_stats(stats, layer)
         return outputs
-
-    def _record_decode_stats(self, stats: DecodeStepStats, layer: int) -> None:
-        self.last_decode_stats = stats
-        self.total_decode_stats.merge(stats)
-        if layer == self.num_layers - 1:
-            self.num_decode_steps += 1

@@ -25,18 +25,29 @@ class WindowCache:
     initial_tokens: int
     last_tokens: int
 
+    def __post_init__(self) -> None:
+        self._positions_cache: dict[int, np.ndarray] = {}
+
     def positions(self, context_length: int) -> np.ndarray:
         """Window positions for a context of ``context_length`` tokens.
 
         The initial and last ranges may overlap for short contexts; the
-        result is deduplicated and sorted.
+        result is deduplicated and sorted.  Results are memoized per length
+        (the decode hot path asks for the same window every layer) — callers
+        must treat the returned array as read-only.
         """
+        cached = self._positions_cache.get(context_length)
+        if cached is not None:
+            return cached
         if context_length <= 0:
-            return np.empty(0, dtype=np.int64)
-        initial = np.arange(0, min(self.initial_tokens, context_length), dtype=np.int64)
-        last_start = max(0, context_length - self.last_tokens)
-        last = np.arange(last_start, context_length, dtype=np.int64)
-        return np.unique(np.concatenate([initial, last]))
+            result = np.empty(0, dtype=np.int64)
+        else:
+            initial = np.arange(0, min(self.initial_tokens, context_length), dtype=np.int64)
+            last_start = max(0, context_length - self.last_tokens)
+            last = np.arange(last_start, context_length, dtype=np.int64)
+            result = np.unique(np.concatenate([initial, last]))
+        self._positions_cache[context_length] = result
+        return result
 
     def covers(self, context_length: int) -> bool:
         """True when the window spans the whole context."""

@@ -120,7 +120,29 @@ class FlatIndex(VectorIndex):
         """Exact DIPR for a batch of queries sharing a single scan.
 
         The batched sibling of :meth:`search_range` (see
-        :meth:`search_topk_batch` for the sharing scheme).
+        :meth:`search_topk_batch` for the sharing scheme).  The per-row
+        threshold/sort work is vectorized across the batch: one mask, one
+        gather and one ``lexsort`` over all selected entries replace a
+        per-row ``flatnonzero`` + ``argsort`` loop.
         """
         scores = self._batch_scores(queries, allowed)
-        return [self._range_result(row, beta) for row in scores]
+        num_queries, n = scores.shape
+        max_per_row = scores.max(axis=1)
+        finite = np.isfinite(max_per_row)
+        keep = scores >= (max_per_row - beta)[:, None]
+        keep &= finite[:, None]
+        row_ids, cols = np.nonzero(keep)
+        sel_scores = scores[row_ids, cols]
+        # within each row, order by score descending (rows stay row-major)
+        order = np.lexsort((-sel_scores, row_ids))
+        cols, sel_scores = cols[order], sel_scores[order]
+        counts = np.bincount(row_ids, minlength=num_queries)
+        bounds = np.cumsum(counts)[:-1]
+        return [
+            SearchResult(
+                indices=indices.astype(np.int64),
+                scores=row_scores.astype(np.float32),
+                num_distance_computations=n,
+            )
+            for indices, row_scores in zip(np.split(cols, bounds), np.split(sel_scores, bounds))
+        ]

@@ -175,6 +175,7 @@ class TransformerLayer:
         caches: list[KVCacheProtocol],
         rope: RotaryEmbedding,
         positions: np.ndarray,
+        attention_round=None,
     ) -> np.ndarray:
         """Run the block over one token from each of ``len(caches)`` requests.
 
@@ -183,7 +184,10 @@ class TransformerLayer:
         Q/K/V/O projections, MLP) runs as single stacked matmuls across the
         batch; attention and KV appends route through each request's own
         cache, which keeps per-request state (sparse plans, stored prefixes,
-        window caches) untouched.
+        window caches) untouched — unless an ``attention_round`` coordinator
+        is supplied, in which case it receives the whole layer's Q/K/V at
+        once and may stack compatible requests' sparse attention (appending
+        KV to each cache itself).
         """
         config = self.config
         batch, head_dim = hidden.shape[0], config.head_dim
@@ -192,18 +196,21 @@ class TransformerLayer:
         # by its own cache position positions[i]
         q, k, v = self.project_qkv(normed, rope, positions)
 
-        attn_rows = np.empty((batch, config.num_query_heads * head_dim), dtype=np.float32)
-        for i, cache in enumerate(caches):
-            qi = q[:, i : i + 1, :]
-            ki = k[:, i : i + 1, :]
-            vi = v[:, i : i + 1, :]
-            if hasattr(cache, "attention"):
-                cache.update_query(qi, ki, vi, self.layer_index)
-                attn = cache.attention(qi, self.layer_index)
-            else:
-                full_k, full_v = cache.update(ki, vi, self.layer_index)
-                attn = full_attention(qi, full_k, full_v, causal=True)
-            attn_rows[i] = attn[:, 0, :].reshape(-1)
+        if attention_round is not None:
+            attn_rows = attention_round.layer_attention(self.layer_index, q, k, v, caches)
+        else:
+            attn_rows = np.empty((batch, config.num_query_heads * head_dim), dtype=np.float32)
+            for i, cache in enumerate(caches):
+                qi = q[:, i : i + 1, :]
+                ki = k[:, i : i + 1, :]
+                vi = v[:, i : i + 1, :]
+                if hasattr(cache, "attention"):
+                    cache.update_query(qi, ki, vi, self.layer_index)
+                    attn = cache.attention(qi, self.layer_index)
+                else:
+                    full_k, full_v = cache.update(ki, vi, self.layer_index)
+                    attn = full_attention(qi, full_k, full_v, causal=True)
+                attn_rows[i] = attn[:, 0, :].reshape(-1)
         hidden = hidden + self.o_proj(attn_rows)
         hidden = hidden + self.mlp(self.post_attention_norm(hidden))
         return hidden
@@ -294,7 +301,10 @@ class TransformerModel:
         return logits[-1]
 
     def decode_batch(
-        self, token_ids: np.ndarray | list[int], caches: list[KVCacheProtocol]
+        self,
+        token_ids: np.ndarray | list[int],
+        caches: list[KVCacheProtocol],
+        attention_round=None,
     ) -> np.ndarray:
         """One decode step for several independent requests in one forward pass.
 
@@ -303,7 +313,10 @@ class TransformerModel:
         ``(batch, dim)`` activations — the continuous-batching win when many
         in-flight requests share the weights — while attention/KV-append go
         through each request's own cache, so each request keeps its own
-        positions, stored prefix, and sparse plan.  Returns logits of shape
+        positions, stored prefix, and sparse plan.  An ``attention_round``
+        coordinator (``layer_attention(layer, q, k, v, caches)``) additionally
+        stacks compatible requests' *sparse* attention per layer — one
+        retrieval + merge round per scheduler step.  Returns logits of shape
         ``(batch, vocab_size)``; row ``i`` equals ``decode_step(token_ids[i],
         caches[i])``.
         """
@@ -319,7 +332,7 @@ class TransformerModel:
         positions = np.asarray([cache.sequence_length(0) for cache in caches], dtype=np.int64)
         hidden = self.embedding(token_ids)
         for layer in self.layers:
-            hidden = layer.forward_batch(hidden, caches, self.rope, positions)
+            hidden = layer.forward_batch(hidden, caches, self.rope, positions, attention_round)
         hidden = self.final_norm(hidden)
         return self.lm_head(hidden)
 

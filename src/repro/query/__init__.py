@@ -2,6 +2,7 @@
 
 from .dipr import (
     DIPRSearchStats,
+    FrontierScratch,
     GroupDIPRSearchStats,
     diprs_search,
     diprs_search_group,
@@ -29,6 +30,7 @@ __all__ = [
     "DIPRQuery",
     "DIPRSearchStats",
     "FilterPredicate",
+    "FrontierScratch",
     "GroupDIPRSearchStats",
     "IndexKind",
     "QueryKind",

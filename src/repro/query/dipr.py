@@ -30,11 +30,35 @@ from ..index.graph import NeighborGraph
 
 __all__ = [
     "DIPRSearchStats",
+    "FrontierScratch",
     "GroupDIPRSearchStats",
     "diprs_search",
     "diprs_search_group",
     "exact_dipr",
 ]
+
+
+class FrontierScratch:
+    """Reusable scratch buffers for a run of group-frontier walks.
+
+    A cross-request decode round dispatches one group walk per (session,
+    GQA group) from a single loop; each walk needs a ``visited`` bitmap the
+    size of its graph.  Holding one buffer here (grown to the largest graph
+    seen, reset with a cheap memset per walk) avoids one fresh allocation
+    per walk and keeps every dispatch in the round on the same warm memory.
+    """
+
+    def __init__(self) -> None:
+        self._visited = np.zeros(0, dtype=bool)
+
+    def visited(self, num_nodes: int) -> np.ndarray:
+        """A zeroed ``(num_nodes,)`` boolean view, reused across walks."""
+        if self._visited.shape[0] < num_nodes:
+            self._visited = np.zeros(num_nodes, dtype=bool)
+            return self._visited
+        view = self._visited[:num_nodes]
+        view[:] = False
+        return view
 
 
 @dataclass
@@ -204,6 +228,7 @@ def group_frontier_search(
     allowed: np.ndarray | None = None,
     max_tokens: int | None = None,
     entry_fallback: Callable[[], np.ndarray] | None = None,
+    scratch: FrontierScratch | None = None,
 ) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
     """The shared group-frontier walk behind :func:`diprs_search_group`.
 
@@ -232,7 +257,10 @@ def group_frontier_search(
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
     num_heads = queries.shape[0]
     stats = GroupDIPRSearchStats(per_head=[DIPRSearchStats() for _ in range(num_heads)])
-    visited = np.zeros(graph.num_nodes, dtype=bool)
+    if scratch is not None:
+        visited = scratch.visited(graph.num_nodes)
+    else:
+        visited = np.zeros(graph.num_nodes, dtype=bool)
     candidate_ids: list[list[int]] = [[] for _ in range(num_heads)]
     candidate_scores: list[list[float]] = [[] for _ in range(num_heads)]
     if window_max_scores is None:
@@ -325,6 +353,7 @@ def diprs_search_group(
     window_max_scores: np.ndarray | None = None,
     allowed: np.ndarray | None = None,
     max_tokens: int | None = None,
+    scratch: FrontierScratch | None = None,
 ) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
     """Group-frontier DIPRS: one shared walk for a whole GQA group.
 
@@ -361,6 +390,7 @@ def diprs_search_group(
         window_max_scores=window_max_scores,
         allowed=allowed,
         max_tokens=max_tokens,
+        scratch=scratch,
     )
 
 

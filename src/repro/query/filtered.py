@@ -17,6 +17,7 @@ from ..index.base import SearchResult
 from ..index.graph import NeighborGraph
 from .dipr import (
     DIPRSearchStats,
+    FrontierScratch,
     GroupDIPRSearchStats,
     append_hop_candidates,
     group_frontier_search,
@@ -147,6 +148,7 @@ def filtered_diprs_search_group(
     capacity_threshold: int = 32,
     window_max_scores: np.ndarray | None = None,
     max_tokens: int | None = None,
+    scratch: FrontierScratch | None = None,
 ) -> tuple[list[SearchResult], GroupDIPRSearchStats]:
     """Group-frontier variant of :func:`filtered_diprs_search`.
 
@@ -175,6 +177,7 @@ def filtered_diprs_search_group(
         allowed=allowed,
         max_tokens=max_tokens,
         entry_fallback=first_allowed_seeds,
+        scratch=scratch,
     )
 
 

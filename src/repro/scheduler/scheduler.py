@@ -15,6 +15,7 @@ The scheduler knows nothing about models or databases: a
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
@@ -123,6 +124,17 @@ class RequestScheduler:
         self.decode_batching = decode_batching
         self.preemption = preemption
         self.preemption_slack_seconds = preemption_slack_seconds
+        # resolve the optional decode_batch hook once: re-probing getattr in
+        # every step hid backend mismatches as a silent per-request fallback
+        self._decode_batch = getattr(backend, "decode_batch", None)
+        if decode_batching and self._decode_batch is None:
+            warnings.warn(
+                f"decode_batching is enabled but backend "
+                f"{type(backend).__name__} has no decode_batch hook; decode "
+                f"steps will run per request",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._queue: list[Request] = []
         self._inflight: list[InFlightRequest] = []
         self._preempted: list[InFlightRequest] = []
@@ -341,7 +353,7 @@ class RequestScheduler:
             else:
                 decode_ready.append(inflight)
         if decode_ready:
-            batch = getattr(self.backend, "decode_batch", None)
+            batch = self._decode_batch
             if self.decode_batching and len(decode_ready) > 1 and batch is not None:
                 batch(decode_ready)
                 self.stats.batched_decode_calls += 1

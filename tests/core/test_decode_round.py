@@ -1,0 +1,354 @@
+"""Cross-request decode rounds: equivalence grid, policy properties, timings.
+
+The cross-request round (``cross_request_sparse_batching``) is a pure
+performance refactor — every grid point here runs the same workload with the
+round coordinator on and off and requires token-identical generations plus
+honest per-request modeled stats.  The ALISA-style dense/sparse policy is a
+pure transition function, so its hysteresis/dwell/monotonicity guarantees
+are checked property-style with hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AlayaDBConfig
+from repro.core.db import DB
+from repro.core.decode_round import (
+    CrossRequestDecodeRound,
+    DynamicAttentionPolicy,
+    PolicyState,
+    StageTimings,
+)
+from repro.core.service import InferenceService
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.simulator.slo import BATCH_SLO, SLO
+
+DOC = [2 + (i % 250) for i in range(158)]
+
+#: config knobs routing the optimizer to each execution path (all layers of
+#: ModelConfig.tiny have an index under each mix)
+PLAN_MIXES = {
+    "flat": dict(gpu_memory_budget_bytes=1, flat_index_layers=(0, 1)),
+    "fine": dict(gpu_memory_budget_bytes=1, flat_index_layers=(0,)),
+    "coarse": dict(gpu_memory_budget_bytes=10**18, topk_k=64, coarse_num_blocks=4),
+}
+
+BASE_CONFIG = dict(
+    short_context_threshold=64,
+    window_initial_tokens=8,
+    window_last_tokens=16,
+    min_reuse_tokens=4,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerModel(ModelConfig.tiny(seed=7))
+
+
+def _service(model, mix: str, cross: bool, **overrides) -> InferenceService:
+    config = AlayaDBConfig(
+        cross_request_sparse_batching=cross,
+        **BASE_CONFIG,
+        **PLAN_MIXES[mix],
+        **overrides,
+    )
+    service = InferenceService(model, config)
+    service.db.prefill_and_import(
+        model, DOC, build_fine_indexes=(mix == "fine"), context_id="shared"
+    )
+    return service
+
+
+def _drain_outputs(service: InferenceService, prompts, max_new) -> dict[int, list[int]]:
+    handles = [
+        service.submit(p, max_new_tokens=m) for p, m in zip(prompts, max_new)
+    ]
+    service.drain()
+    outputs = {}
+    for handle in handles:
+        result, record = service.result(handle)
+        outputs[handle.request_id] = (
+            result.generated_tokens,
+            record.generated_tokens,
+            round(record.modeled_tpot_seconds, 12),
+        )
+    return outputs
+
+
+class TestEquivalenceGrid:
+    """Batched rounds must match the per-session fallback token for token."""
+
+    @pytest.mark.parametrize("mix", sorted(PLAN_MIXES))
+    @pytest.mark.parametrize("num_sessions", [1, 2, 4, 8])
+    def test_tokens_and_stats_match(self, model, mix, num_sessions):
+        # unequal context lengths (suffixes of 1-3 tokens) and unequal
+        # generation lengths (sessions finish mid-round while others decode)
+        prompts = [DOC + [210 + i] * (1 + i % 3) for i in range(num_sessions)]
+        max_new = [3 + i % 3 for i in range(num_sessions)]
+        per_session = _drain_outputs(
+            _service(model, mix, cross=False, max_inflight_requests=num_sessions),
+            prompts,
+            max_new,
+        )
+        batched = _drain_outputs(
+            _service(model, mix, cross=True, max_inflight_requests=num_sessions),
+            prompts,
+            max_new,
+        )
+        assert batched == per_session
+
+    def test_mixed_plan_kinds_in_one_round(self, model):
+        """Sessions on different contexts split into singles, still identical."""
+
+        def run(cross):
+            service = _service(model, "flat", cross=cross, max_inflight_requests=4)
+            # a second ingested context: two compatibility groups in flight
+            other = [5 + (i % 240) for i in range(130)]
+            service.db.prefill_and_import(
+                model, other, build_fine_indexes=False, context_id="other"
+            )
+            prompts = [DOC + [211], DOC + [212], other + [213], other + [214]]
+            return _drain_outputs(service, prompts, [4, 4, 4, 4])
+
+        assert run(True) == run(False)
+
+    def test_mid_round_cancel(self, model):
+        def run(cross):
+            service = _service(model, "flat", cross=cross, max_inflight_requests=4)
+            prompts = [DOC + [220 + i] for i in range(4)]
+            handles = [service.submit(p, max_new_tokens=6) for p in prompts]
+            service.step()
+            service.step()
+            assert service.cancel(handles[1].request_id)
+            service.drain()
+            return {
+                h.request_id: service.result(h)[0].generated_tokens
+                for h in handles
+                if service.result(h) is not None
+            }
+
+        per_session = run(False)
+        batched = run(True)
+        assert batched == per_session
+        assert len(batched) == 3  # the cancelled request produced no result
+
+    def test_mid_round_preemption(self, model):
+        def run(cross):
+            service = _service(
+                model,
+                "flat",
+                cross=cross,
+                max_inflight_requests=2,
+                scheduler_policy="slo",
+                preemption=True,
+            )
+            long_handles = [
+                service.submit(DOC + [230 + i], max_new_tokens=24, slo=BATCH_SLO)
+                for i in range(2)
+            ]
+            for _ in range(3):
+                service.step()
+            critical = service.submit(
+                DOC + [240], max_new_tokens=2, slo=SLO(ttft_seconds=0.001)
+            )
+            service.drain()
+            preemptions = service.scheduler.stats.preemptions
+            return preemptions, {
+                h.request_id: service.result(h)[0].generated_tokens
+                for h in long_handles + [critical]
+            }
+
+        per_preempt, per_session = run(False)
+        bat_preempt, batched = run(True)
+        assert per_preempt >= 1 and bat_preempt >= 1
+        assert batched == per_session
+
+
+class TestDecodeStepStatsHonesty:
+    """The coordinator must attribute exactly the per-session path's stats."""
+
+    def _sessions(self, model, db, n):
+        sessions = []
+        for i in range(n):
+            session, suffix = db.create_session(DOC + [210 + i])
+            assert suffix == [210 + i]
+            sessions.append(session)
+        return sessions
+
+    def test_round_matches_per_session_outputs_and_stats(self, model):
+        config = AlayaDBConfig(**BASE_CONFIG, **PLAN_MIXES["flat"])
+        db = DB(config)
+        db.prefill_and_import(model, DOC, build_fine_indexes=False)
+        dims = model.config
+        rng = np.random.default_rng(11)
+        steps = [
+            (
+                rng.normal(size=(dims.num_query_heads, 3, dims.head_dim)).astype(np.float32),
+                rng.normal(size=(dims.num_kv_heads, 3, dims.head_dim)).astype(np.float32),
+                rng.normal(size=(dims.num_kv_heads, 3, dims.head_dim)).astype(np.float32),
+            )
+            for _ in range(3 * dims.num_layers)
+        ]
+
+        solo = self._sessions(model, db, 3)
+        solo_rows = []
+        for t in range(3):
+            for layer in range(dims.num_layers):
+                q, k, v = steps[t * dims.num_layers + layer]
+                for i, session in enumerate(solo):
+                    session.update_query(
+                        q[:, i : i + 1, :], k[:, i : i + 1, :], v[:, i : i + 1, :], layer
+                    )
+                    solo_rows.append(session.attention(q[:, i : i + 1, :], layer)[:, 0, :])
+
+        grouped = self._sessions(model, db, 3)
+        round_ = CrossRequestDecodeRound(grouped)
+        round_rows = []
+        for t in range(3):
+            for layer in range(dims.num_layers):
+                q, k, v = steps[t * dims.num_layers + layer]
+                rows = round_.layer_attention(layer, q, k, v, grouped)
+                round_rows.extend(
+                    rows[i].reshape(dims.num_query_heads, dims.head_dim) for i in range(3)
+                )
+
+        for solo_row, round_row in zip(solo_rows, round_rows):
+            np.testing.assert_allclose(round_row, solo_row, atol=1e-5)
+        for a, b in zip(solo, grouped):
+            assert a.total_decode_stats == b.total_decode_stats
+            assert a.num_decode_steps == b.num_decode_steps == 3
+
+
+# --------------------------------------------------------------------------
+# dynamic attention policy
+# --------------------------------------------------------------------------
+
+policies = st.builds(
+    DynamicAttentionPolicy,
+    dense_watermark=st.floats(min_value=0.0, max_value=0.8),
+    sparse_watermark=st.floats(min_value=0.8, max_value=2.0),
+    min_dwell_steps=st.integers(min_value=0, max_value=6),
+)
+states = st.builds(
+    PolicyState,
+    mode=st.sampled_from(["sparse", "dense"]),
+    steps_in_mode=st.integers(min_value=0, max_value=12),
+)
+pressures = st.floats(min_value=0.0, max_value=3.0)
+
+
+class TestDynamicAttentionPolicy:
+    @settings(deadline=None, max_examples=80)
+    @given(policy=policies, state=states, pressure=pressures)
+    def test_step_is_pure_and_total(self, policy, state, pressure):
+        first = policy.step(state, pressure)
+        assert policy.step(state, pressure) == first
+        assert first.mode in ("sparse", "dense")
+
+    @settings(deadline=None, max_examples=80)
+    @given(policy=policies, state=states, pressure=pressures)
+    def test_hysteresis_band_keeps_mode(self, policy, state, pressure):
+        if policy.dense_watermark < pressure < policy.sparse_watermark:
+            assert policy.step(state, pressure).mode == state.mode
+
+    @settings(deadline=None, max_examples=80)
+    @given(policy=policies, state=states, p1=pressures, p2=pressures)
+    def test_monotone_in_pressure(self, policy, state, p1, p2):
+        """Higher pressure never flips the decision toward dense."""
+        low, high = sorted((p1, p2))
+        if policy.step(state, low).mode == "sparse":
+            assert policy.step(state, high).mode == "sparse"
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        policy=policies,
+        seq=st.lists(pressures, min_size=1, max_size=40),
+    )
+    def test_dwell_bounds_switch_frequency(self, policy, seq):
+        state = policy.initial()
+        last_switch = None
+        for i, pressure in enumerate(seq):
+            nxt = policy.step(state, pressure)
+            if nxt.mode != state.mode:
+                if last_switch is not None:
+                    assert i - last_switch >= policy.min_dwell_steps
+                last_switch = i
+            state = nxt
+
+    @settings(deadline=None, max_examples=60)
+    @given(policy=policies, state=states)
+    def test_sustained_pressure_converges_to_sparse(self, policy, state):
+        pressure = policy.sparse_watermark
+        for _ in range(policy.min_dwell_steps + 1):
+            state = policy.step(state, pressure)
+        assert state.mode == "sparse"
+
+    def test_invalid_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicAttentionPolicy(dense_watermark=0.8, sparse_watermark=0.5)
+        with pytest.raises(ValueError):
+            DynamicAttentionPolicy(min_dwell_steps=-1)
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AlayaDBConfig(
+                attention_policy_dense_watermark=0.9,
+                attention_policy_sparse_watermark=0.5,
+            )
+
+    def test_policy_pins_low_pressure_sessions_dense(self, model):
+        """Plentiful budget → dense override; forget() clears state on finish."""
+        service = _service(
+            model,
+            "flat",
+            cross=True,
+            max_inflight_requests=2,
+            dynamic_attention_policy=True,
+            scheduler_gpu_budget_bytes=10**15,
+        )
+        handles = [service.submit(DOC + [250 + i], max_new_tokens=3) for i in range(2)]
+        service.step()
+        service.step()
+        live = [service._live[h.request_id].session for h in handles]
+        assert all(s.decode_mode_override == "dense" for s in live)
+        assert len(service._attention_policy._states) == 2
+        service.drain()
+        assert not service._attention_policy._states
+
+
+class TestStageTimings:
+    def test_memory_report_exposes_decode_split(self, model):
+        service = _service(model, "flat", cross=True, max_inflight_requests=4)
+        for i in range(4):
+            service.submit(DOC + [210 + i], max_new_tokens=4)
+        service.drain()
+        report = service.memory_report()
+        assert report["decode_rounds"] > 0
+        assert report["decode_retrieval_seconds"] > 0.0
+        assert report["decode_merge_seconds"] > 0.0
+        assert report["decode_dense_seconds"] >= 0.0
+        # the stats object and the service share one StageTimings instance
+        assert service.stats.decode_timings is service.decode_timings
+        assert service.decode_timings.sparse_seconds == (
+            service.decode_timings.retrieval_seconds
+            + service.decode_timings.merge_seconds
+        )
+
+    def test_timings_accrue_in_per_session_path_too(self, model):
+        service = _service(model, "flat", cross=False, max_inflight_requests=2)
+        for i in range(2):
+            service.submit(DOC + [210 + i], max_new_tokens=3)
+        service.drain()
+        assert service.decode_timings.retrieval_seconds > 0.0
+        assert service.decode_timings.merge_seconds > 0.0
+
+    def test_stage_timings_dataclass(self):
+        timings = StageTimings(retrieval_seconds=1.0, merge_seconds=2.0, dense_seconds=3.0)
+        assert timings.sparse_seconds == 3.0

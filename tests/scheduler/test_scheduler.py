@@ -3,6 +3,8 @@ and the InferenceService serving path built on top of them."""
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.core.config import AlayaDBConfig
@@ -300,6 +302,47 @@ class TestBatchedDecode:
         scheduler.step()  # 1 and 2 decode as a batch of 2, 3 keeps prefilling
         assert backend.batch_sizes == [2]
         assert scheduler.stats.prefill_chunks == 4
+
+
+class TestDecodeBatchHookResolution:
+    """The decode_batch hook is resolved once, at construction (not re-probed
+    with getattr every step, which hid backend mismatches as a silent
+    per-request fallback)."""
+
+    def test_missing_hook_warns_at_construction(self):
+        backend = FakeBackend()
+        del FakeBackend.decode_batch
+        try:
+            with pytest.warns(RuntimeWarning, match="no decode_batch hook"):
+                scheduler = RequestScheduler(backend, max_inflight=4)
+            assert scheduler._decode_batch is None
+        finally:
+            FakeBackend.decode_batch = _FAKE_DECODE_BATCH
+
+    def test_missing_hook_is_silent_when_batching_disabled(self):
+        backend = FakeBackend()
+        del FakeBackend.decode_batch
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                scheduler = RequestScheduler(
+                    backend, max_inflight=4, decode_batching=False
+                )
+            assert scheduler._decode_batch is None
+        finally:
+            FakeBackend.decode_batch = _FAKE_DECODE_BATCH
+
+    def test_hook_resolved_once_not_per_step(self):
+        backend = FakeBackend()
+        scheduler = RequestScheduler(backend, max_inflight=4)
+        del FakeBackend.decode_batch  # vanishing after construction is ignored
+        try:
+            for i in range(2):
+                scheduler.submit(_request(i + 1, num_tokens=4, max_new_tokens=2))
+            scheduler.drain()
+            assert backend.batch_sizes == [2]  # still served by the bound hook
+        finally:
+            FakeBackend.decode_batch = _FAKE_DECODE_BATCH
 
 
 class TestZeroTokenRequests:
