@@ -148,7 +148,9 @@ class Client:
     """A minimal OpenAI-client-shaped wrapper: ``Client(service).completions``.
 
     ``client.chat(...)`` opens a :class:`~repro.core.handles.ChatSession`
-    (the multi-turn, KV-reusing counterpart of one-shot completions).
+    (the multi-turn, KV-reusing counterpart of one-shot completions);
+    ``export_context`` / ``import_context`` move single stored contexts
+    between services as portable bundle directories.
     """
 
     def __init__(self, service: "InferenceService"):
@@ -157,3 +159,15 @@ class Client:
 
     def chat(self, context_id: str | None = None, max_new_tokens: int = 16):
         return self.service.chat(context_id=context_id, max_new_tokens=max_new_tokens)
+
+    def export_context(self, context_id: str, dest_dir):
+        """Export one stored context (snapshot + indexes + catalog row) as a
+        portable bundle directory; returns the bundle path."""
+        return self.service.db.export_context(context_id, dest_dir)
+
+    def import_context(self, src_dir, context_id: str | None = None, overwrite: bool = False):
+        """Import a bundle exported by :meth:`export_context`; the imported
+        context serves prefix hits without re-prefilling or re-indexing."""
+        return self.service.db.import_context_bundle(
+            src_dir, context_id=context_id, overwrite=overwrite
+        )

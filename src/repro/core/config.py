@@ -163,6 +163,23 @@ class AlayaDBConfig:
     spilled to disk (requires the DB to be created with a ``storage_dir``)
     and transparently reloaded on prefix hits.  ``None`` means unbounded."""
 
+    # durable context database
+    context_db_path: str | None = None
+    """Directory of the durable context database.  When set, every stored
+    context is persisted (snapshot + indexes + manifest row) as it is added,
+    and a DB/service constructed over the same path recovers the whole
+    context population — restart-and-reuse without re-prefilling."""
+
+    storage_backend: str = "filesystem"
+    """Durable-tier backend: ``"filesystem"`` (one file per object under the
+    database directory) or ``"memory"`` (dict-backed; tests and scratch)."""
+
+    persist_fine_indexes: bool = True
+    """Persist serialized fine/coarse indexes next to each spilled or durably
+    stored snapshot, so a reload re-attaches them by deserialization (bit-
+    identical retrieval) instead of rebuilding from the keys.  Off keeps only
+    snapshots on disk; reloads fall back to index rebuilds."""
+
     def __post_init__(self) -> None:
         if self.window_initial_tokens < 0 or self.window_last_tokens < 0:
             raise ConfigError("window sizes must be non-negative")
@@ -208,6 +225,10 @@ class AlayaDBConfig:
             )
         if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
             raise ConfigError("context_store_budget_bytes must be positive when set")
+        if self.storage_backend not in ("filesystem", "memory"):
+            raise ConfigError(
+                f"storage_backend must be 'filesystem' or 'memory', got {self.storage_backend!r}"
+            )
 
     @property
     def window_total_tokens(self) -> int:

@@ -6,13 +6,21 @@ matches the incoming prompt against the store to find the **longest common
 prefix** with any stored context; the matched prefix is reused (its KV cache
 and indexes are not recomputed) and only the non-reused suffix is prefilled.
 
-Two serving-scale features live here:
+Serving-scale features:
 
 * prefix matching runs over a **token trie**, so a lookup costs
   ``O(len(prompt))`` instead of ``O(num_contexts x len(prompt))``;
 * the store enforces an optional **byte budget** on resident KV snapshots:
-  cold contexts are spilled to disk (their tokens stay in memory so prefix
-  matching keeps working) and transparently reloaded on the next hit.
+  cold contexts are spilled through a :class:`~repro.storage.backend.StorageBackend`
+  (their tokens stay in memory so prefix matching keeps working) and
+  transparently reloaded on the next hit;
+* spilled contexts round-trip their **fine and coarse indexes** too
+  (``persist_indexes``): reload is a deserialize, not a rebuild-from-keys;
+* in **durable** mode the store is a real context database: every stored
+  context is persisted (snapshot + indexes) and cataloged in a crash-safe,
+  generation-stamped manifest, so :meth:`ContextStore.open` on the same
+  directory — after a restart, or from a second process — recovers the whole
+  population and serves contexts this process never prefilled.
 """
 
 from __future__ import annotations
@@ -24,10 +32,13 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import ContextEvictedError, ContextNotFoundError, DuplicateContextError
+from ..errors import ContextEvictedError, ContextLoadError, ContextNotFoundError, DuplicateContextError
 from ..index.builder import LayerIndexes
 from ..index.coarse import CoarseBlockIndex
-from ..kvcache.serialization import KVSnapshot, load_snapshot, save_snapshot
+from ..index.serialization import deserialize_context_indexes, serialize_context_indexes
+from ..kvcache.serialization import KVSnapshot, snapshot_from_bytes, snapshot_to_bytes
+from ..storage.backend import FilesystemBackend, StorageBackend
+from ..storage.manifest import ContextManifest, ManifestEntry
 
 __all__ = ["StoredContext", "PrefixMatch", "ContextStore"]
 
@@ -57,6 +68,24 @@ class StoredContext:
         self._spilled_num_layers = 0
         if not self.query_samples and self.snapshot is not None and self.snapshot.query_samples:
             self.query_samples = dict(self.snapshot.query_samples)
+
+    @classmethod
+    def from_manifest_entry(cls, entry: ManifestEntry) -> "StoredContext":
+        """A cold (spilled) context recovered from a manifest row.
+
+        Its tokens participate in prefix matching immediately; the KV and
+        indexes load from the backend on the first ``ensure_resident``.
+        """
+        context = cls(
+            context_id=entry.context_id,
+            snapshot=None,
+            wants_fine_indexes=entry.wants_fine_indexes,
+            wants_coarse_indexes=entry.wants_coarse_indexes,
+        )
+        context._tokens = list(entry.tokens)
+        context._spilled_kv_bytes = entry.kv_bytes
+        context._spilled_num_layers = entry.num_layers
+        return context
 
     @property
     def is_resident(self) -> bool:
@@ -115,8 +144,9 @@ class StoredContext:
         self.snapshot = None
         # indexes reference the key arrays; dropping them is what frees the
         # memory.  Query samples go too — they were persisted inside the
-        # snapshot on disk, so :meth:`restore` brings them back and a rebuild
-        # after reload keeps the OOD query-sample benefit.
+        # snapshot on disk, so :meth:`restore` brings them back, and with
+        # index persistence enabled the indexes themselves come back as a
+        # deserialize instead of a rebuild.
         self.fine_indexes = {}
         self.coarse_indexes = {}
         self.query_samples = {}
@@ -167,10 +197,16 @@ class ContextStore:
     """Registry of stored contexts with budgeted residency and disk spill.
 
     ``kv_budget_bytes`` caps the total bytes of KV snapshots kept in memory;
-    exceeding it spills the least-recently-used unpinned context to
-    ``storage_dir`` (which is therefore required when a budget is set).
-    ``on_spill`` / ``on_reload`` let the owning DB react to residency changes
-    (dropping buffer-pool accounting, re-scheduling index builds).
+    exceeding it spills the least-recently-used unpinned context through the
+    store's backend (so a budget requires either ``storage_dir`` or
+    ``backend``).  ``on_spill`` / ``on_reload`` let the owning DB react to
+    residency changes (dropping buffer-pool accounting, re-scheduling index
+    builds).
+
+    ``durable=True`` turns the store into a context database over its
+    backend: every added context is persisted immediately and recorded in
+    the manifest; construction recovers whatever population the manifest
+    describes (see :meth:`open`).
     """
 
     def __init__(
@@ -180,25 +216,94 @@ class ContextStore:
         on_spill: Callable[[StoredContext], None] | None = None,
         on_reload: Callable[[StoredContext], None] | None = None,
         on_remove: Callable[[StoredContext], None] | None = None,
+        backend: StorageBackend | None = None,
+        durable: bool = False,
+        persist_indexes: bool = True,
     ):
+        if backend is None and storage_dir is not None:
+            backend = FilesystemBackend(storage_dir)
         if kv_budget_bytes is not None:
             if kv_budget_bytes <= 0:
                 raise ValueError(f"kv_budget_bytes must be positive, got {kv_budget_bytes}")
-            if storage_dir is None:
-                raise ValueError("a kv_budget_bytes cap requires a storage_dir to spill to")
+            if backend is None:
+                raise ValueError("a kv_budget_bytes cap requires a storage_dir (or backend) to spill to")
+        if durable and backend is None:
+            raise ValueError("a durable ContextStore requires a storage_dir or backend")
         self._contexts: dict[str, StoredContext] = {}
-        self.storage_dir = Path(storage_dir) if storage_dir is not None else None
+        self.backend = backend
+        self.storage_dir = Path(storage_dir) if storage_dir is not None else (
+            Path(backend.location) if backend is not None and backend.location else None
+        )
         self.kv_budget_bytes = kv_budget_bytes
+        self.durable = durable
+        self._persist_indexes = persist_indexes
         self._root = _TrieNode(holder="")  # the root's holder is never read
         self._lru: OrderedDict[str, None] = OrderedDict()  # resident ids, oldest first
         self._resident_bytes = 0
         self._pins: dict[str, int] = {}
         self._persisted: set[str] = set()
+        self._indexed_on_disk: set[str] = set()
         self._on_spill = on_spill
         self._on_reload = on_reload
         self._on_remove = on_remove
         self.spill_count = 0
         self.reload_count = 0
+        self.reload_deserialized_count = 0
+        """Reloads whose fine/coarse indexes came back by deserialization."""
+        self.reload_rebuilt_count = 0
+        """Reloads that came back index-less (indexes rebuilt from keys)."""
+        self._manifest = ContextManifest()
+        if durable:
+            self._manifest = ContextManifest.load_or_empty(self.backend)
+            self._recover_from_manifest()
+
+    @classmethod
+    def open(
+        cls,
+        storage: str | Path | StorageBackend,
+        **kwargs,
+    ) -> "ContextStore":
+        """Open (or create) a durable context database at ``storage``.
+
+        ``storage`` is a directory path (filesystem backend) or an existing
+        :class:`StorageBackend`.  Contexts cataloged in the manifest are
+        recovered cold — prefix-matchable immediately, loaded on first use —
+        so a restarted service, or a second store sharing the directory, can
+        serve contexts it never prefilled.
+        """
+        if isinstance(storage, StorageBackend):
+            return cls(backend=storage, durable=True, **kwargs)
+        return cls(storage_dir=storage, durable=True, **kwargs)
+
+    def _recover_from_manifest(self) -> None:
+        for entry in self._manifest.entries.values():
+            context = StoredContext.from_manifest_entry(entry)
+            self._contexts[context.context_id] = context
+            self._trie_insert(context.tokens, context.context_id)
+            self._persisted.add(context.context_id)
+            if entry.index_key is not None:
+                self._indexed_on_disk.add(context.context_id)
+
+    # ------------------------------------------------------------------
+    # backend keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot_key(context_id: str) -> str:
+        return f"{context_id}.npz"
+
+    @staticmethod
+    def _index_key(context_id: str) -> str:
+        return f"{context_id}.indexes.npz"
+
+    @property
+    def persists_indexes(self) -> bool:
+        """Whether spilled/stored contexts keep their indexes on disk."""
+        return self.backend is not None and self._persist_indexes
+
+    @property
+    def manifest_generation(self) -> int:
+        """Generation stamp of the last manifest write (0 when non-durable)."""
+        return self._manifest.generation
 
     # ------------------------------------------------------------------
     # registry operations
@@ -227,6 +332,13 @@ class ContextStore:
         if context.is_resident:
             self._lru[context_id] = None
             self._resident_bytes += context.kv_bytes
+        if self.durable and context.is_resident:
+            # the database property: a stored context survives this process
+            self._persist_snapshot(context)
+            if self.persists_indexes and (context.fine_indexes or context.coarse_indexes):
+                self._persist_index_blob(context)
+            self._manifest.upsert(self._manifest_entry(context))
+            self._manifest.save(self.backend)
         self._enforce_budget(protect=context_id)
 
     def get(self, context_id: str) -> StoredContext:
@@ -244,6 +356,11 @@ class ContextStore:
             raise ContextNotFoundError(f"context {context_id!r} not found")
         self._forget(context)
         del self._contexts[context_id]
+        if self.durable:
+            self.backend.delete(self._snapshot_key(context_id))
+            self.backend.delete(self._index_key(context_id))
+            if self._manifest.remove(context_id):
+                self._manifest.save(self.backend)
         if self._on_remove is not None:
             self._on_remove(context)
 
@@ -259,6 +376,27 @@ class ContextStore:
     def resident_kv_bytes(self) -> int:
         """KV bytes currently held in memory (governed by the budget)."""
         return self._resident_bytes
+
+    @property
+    def spilled_kv_bytes(self) -> int:
+        """KV bytes of contexts currently living only on the disk tier."""
+        return sum(
+            context.kv_bytes for context in self._contexts.values() if not context.is_resident
+        )
+
+    @property
+    def disk_kv_bytes(self) -> int:
+        """On-disk bytes of persisted KV snapshots (as stored, compressed)."""
+        if self.backend is None:
+            return 0
+        return sum(self.backend.size_bytes(self._snapshot_key(cid)) for cid in self._persisted)
+
+    @property
+    def disk_index_bytes(self) -> int:
+        """On-disk bytes of serialized fine/coarse index blobs."""
+        if self.backend is None:
+            return 0
+        return sum(self.backend.size_bytes(self._index_key(cid)) for cid in self._indexed_on_disk)
 
     def resident_ids(self) -> list[str]:
         return list(self._lru)
@@ -366,19 +504,28 @@ class ContextStore:
     # residency management
     # ------------------------------------------------------------------
     def ensure_resident(self, context_id: str) -> StoredContext:
-        """Reload a spilled context from disk (no-op when already resident)."""
+        """Reload a spilled context from disk (no-op when already resident).
+
+        When the context's indexes were persisted alongside its snapshot,
+        they are deserialized and re-attached here — retrieval over them is
+        bit-identical to the pre-spill index, and no rebuild is queued.
+        """
         context = self._contexts.get(context_id)
         if context is None:
             raise ContextNotFoundError(f"context {context_id!r} not found")
         if context.is_resident:
             self._touch(context_id)
             return context
-        if self.storage_dir is None:
+        if self.backend is None:
             raise ContextEvictedError(
                 f"context {context_id!r} is spilled but the store has no storage_dir"
             )
-        snapshot = load_snapshot(self.storage_dir, context_id)
+        snapshot = self._load_snapshot(context_id)
         context.restore(snapshot)
+        if self._attach_persisted_indexes(context):
+            self.reload_deserialized_count += 1
+        else:
+            self.reload_rebuilt_count += 1
         self._lru[context_id] = None
         self._lru.move_to_end(context_id)
         self._resident_bytes += context.kv_bytes
@@ -390,7 +537,7 @@ class ContextStore:
 
     def spill(self, context_id: str) -> None:
         """Explicitly spill one resident context to disk."""
-        if self.storage_dir is None:
+        if self.backend is None:
             raise ValueError("this ContextStore was created without a storage_dir")
         context = self.get(context_id)
         if not context.is_resident:
@@ -424,8 +571,16 @@ class ContextStore:
     def _spill_one(self, context_id: str) -> None:
         context = self._contexts[context_id]
         if context_id not in self._persisted:
-            save_snapshot(context.snapshot, self.storage_dir, context_id)
-            self._persisted.add(context_id)
+            self._persist_snapshot(context)
+        if (
+            self.persists_indexes
+            and context_id not in self._indexed_on_disk
+            and (context.fine_indexes or context.coarse_indexes)
+        ):
+            self._persist_index_blob(context)
+            if self.durable:
+                self._manifest.upsert(self._manifest_entry(context))
+                self._manifest.save(self.backend)
         self._resident_bytes -= context.kv_bytes
         self._lru.pop(context_id, None)
         context.spill()
@@ -442,25 +597,113 @@ class ContextStore:
         self._lru.pop(context_id, None)
         self._pins.pop(context_id, None)
         self._persisted.discard(context_id)
+        self._indexed_on_disk.discard(context_id)
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def persist(self, context_id: str) -> Path:
-        """Write a context's snapshot to ``storage_dir`` (indexes are rebuilt on load)."""
-        if self.storage_dir is None:
+    def _persist_snapshot(self, context: StoredContext) -> None:
+        self.backend.write_bytes(
+            self._snapshot_key(context.context_id), snapshot_to_bytes(context.snapshot)
+        )
+        self._persisted.add(context.context_id)
+
+    def _load_snapshot(self, context_id: str) -> KVSnapshot:
+        key = self._snapshot_key(context_id)
+        return snapshot_from_bytes(self.backend.read_bytes(key), source=key)
+
+    def _persist_index_blob(self, context: StoredContext) -> None:
+        blob = serialize_context_indexes(
+            context.fine_indexes, context.coarse_indexes, context.query_samples
+        )
+        self.backend.write_bytes(self._index_key(context.context_id), blob)
+        self._indexed_on_disk.add(context.context_id)
+
+    def _attach_persisted_indexes(self, context: StoredContext) -> bool:
+        """Re-attach a reloaded context's serialized indexes, if any.
+
+        Returns True when at least one index class came back; a corrupted
+        blob degrades to the rebuild path instead of failing the reload.
+        """
+        context_id = context.context_id
+        if not self.persists_indexes or context_id not in self._indexed_on_disk:
+            return False
+        try:
+            fine, coarse, samples = deserialize_context_indexes(
+                self.backend.read_bytes(self._index_key(context_id))
+            )
+        except ContextLoadError:
+            self._indexed_on_disk.discard(context_id)
+            return False
+        if context.wants_fine_indexes:
+            context.fine_indexes = fine
+        if context.wants_coarse_indexes:
+            context.coarse_indexes = coarse
+        if samples and not context.query_samples:
+            context.query_samples = samples
+        return bool(context.fine_indexes or context.coarse_indexes)
+
+    def _manifest_entry(self, context: StoredContext) -> ManifestEntry:
+        context_id = context.context_id
+        index_key = self._index_key(context_id) if context_id in self._indexed_on_disk else None
+        return ManifestEntry(
+            context_id=context_id,
+            tokens=list(context.tokens),
+            num_layers=context.num_layers,
+            kv_bytes=context.kv_bytes,
+            snapshot_key=self._snapshot_key(context_id),
+            index_key=index_key,
+            index_bytes=self.backend.size_bytes(index_key) if index_key else 0,
+            wants_fine_indexes=context.wants_fine_indexes,
+            wants_coarse_indexes=context.wants_coarse_indexes,
+            metadata=dict(context.snapshot.metadata) if context.snapshot is not None else {},
+        )
+
+    def persist(self, context_id: str) -> Path | str:
+        """Write a context's snapshot (and indexes, when enabled) to the backend."""
+        if self.backend is None:
             raise ValueError("this ContextStore was created without a storage_dir")
         context = self.get(context_id)
-        path = save_snapshot(context._require_resident(), self.storage_dir, context_id)
-        self._persisted.add(context_id)
-        return path
+        context._require_resident()
+        self._persist_snapshot(context)
+        if self.persists_indexes and (context.fine_indexes or context.coarse_indexes):
+            self._persist_index_blob(context)
+        if self.durable:
+            self._manifest.upsert(self._manifest_entry(context))
+            self._manifest.save(self.backend)
+        key = self._snapshot_key(context_id)
+        return self.storage_dir / key if self.storage_dir is not None else key
+
+    def persist_indexes(self, context_id: str) -> bool:
+        """Serialize a context's current fine/coarse indexes to the backend.
+
+        Called after deferred (lazy) index builds so contexts indexed *after*
+        their snapshot was persisted still reload as deserialize-not-rebuild.
+        Returns False (a no-op) when index persistence is off, the context is
+        not resident, or it has no indexes yet.
+        """
+        if not self.persists_indexes:
+            return False
+        context = self._contexts.get(context_id)
+        if context is None:
+            raise ContextNotFoundError(f"context {context_id!r} not found")
+        if not context.is_resident or not (context.fine_indexes or context.coarse_indexes):
+            return False
+        self._persist_index_blob(context)
+        if self.durable:
+            self._manifest.upsert(self._manifest_entry(context))
+            self._manifest.save(self.backend)
+        return True
 
     def load_persisted(self, context_id: str) -> StoredContext:
         """Load a previously persisted snapshot back into the registry."""
-        if self.storage_dir is None:
+        if self.backend is None:
             raise ValueError("this ContextStore was created without a storage_dir")
-        snapshot = load_snapshot(self.storage_dir, context_id)
+        snapshot = self._load_snapshot(context_id)
         context = StoredContext(context_id=context_id, snapshot=snapshot)
+        if self.backend.exists(self._index_key(context_id)):
+            self._indexed_on_disk.add(context_id)
+            self._attach_persisted_indexes(context)
         self.add(context, overwrite=True)
         self._persisted.add(context_id)
         return context

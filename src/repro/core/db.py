@@ -25,24 +25,32 @@ sparse-attention use or drained explicitly through :meth:`build_pending`.
 from __future__ import annotations
 
 import itertools
+import json
+import re
 from pathlib import Path
 
 import numpy as np
 
 from ..index.builder import ContextIndexBuilder, IndexBuildConfig, LayerIndexes
 from ..index.coarse import CoarseBlockIndex
+from ..index.serialization import deserialize_context_indexes, serialize_context_indexes
 from ..kvcache.cache import DynamicCache
-from ..kvcache.serialization import KVSnapshot
+from ..kvcache.serialization import KVSnapshot, snapshot_from_bytes, snapshot_to_bytes
 from ..llm.model import TransformerModel
 from ..llm.tokenizer import ByteTokenizer
-from ..errors import BufferPoolExhaustedError
+from ..errors import BufferPoolExhaustedError, ContextLoadError
+from ..storage.backend import FilesystemBackend, StorageBackend, make_backend
 from ..storage.blocks import BlockType, ResidencyBlock
 from ..storage.buffer_manager import BufferManager, BufferStats
+from ..storage.manifest import ManifestEntry
 from .config import AlayaDBConfig
 from .context_store import ContextStore, StoredContext
 from .session import Session
 
 __all__ = ["DB"]
+
+BUNDLE_FORMAT_VERSION = 1
+"""Format of the portable single-context bundle (``bundle.json``)."""
 
 _UNBOUNDED_POOL_BYTES = 1 << 60
 """Buffer-pool capacity used when no context budget is configured."""
@@ -56,22 +64,41 @@ class DB:
         config: AlayaDBConfig | None = None,
         tokenizer: ByteTokenizer | None = None,
         storage_dir: str | Path | None = None,
+        backend: StorageBackend | None = None,
     ):
         self.config = config or AlayaDBConfig()
         self.tokenizer = tokenizer or ByteTokenizer()
         budget = self.config.context_store_budget_bytes
+        effective_dir = storage_dir if storage_dir is not None else self.config.context_db_path
+        # ``context_db_path`` (or an explicit backend) makes the store a
+        # durable context database; a bare ``storage_dir`` keeps the historic
+        # spill-tier-only behavior
+        durable = backend is not None or self.config.context_db_path is not None
+        if backend is None and self.config.storage_backend != "filesystem" and (
+            effective_dir is not None or budget is not None
+        ):
+            backend = make_backend(self.config.storage_backend, effective_dir)
         self.store_registry = ContextStore(
-            storage_dir=storage_dir,
+            storage_dir=effective_dir,
             kv_budget_bytes=budget,
             on_spill=self._context_spilled,
             on_reload=self._context_reloaded,
             on_remove=self._context_spilled,  # same cleanup: drop mirrors
+            backend=backend,
+            durable=durable,
+            persist_indexes=self.config.persist_fine_indexes,
         )
         self.buffer_manager = BufferManager(
             capacity_bytes=budget if budget is not None else _UNBOUNDED_POOL_BYTES
         )
         self._builder = ContextIndexBuilder(self.config.index_build)
-        self._context_counter = itertools.count()
+        # recovered contexts keep their ids; continue the sequence after them
+        next_ordinal = 0
+        for context_id in self.store_registry.list_ids():
+            match = re.fullmatch(r"ctx-(\d+)", context_id)
+            if match:
+                next_ordinal = max(next_ordinal, int(match.group(1)) + 1)
+        self._context_counter = itertools.count(next_ordinal)
         self._pending_fine: set[str] = set()
 
     # ------------------------------------------------------------------
@@ -160,14 +187,17 @@ class DB:
         self._pending_fine.discard(context.context_id)
 
     def _context_reloaded(self, context: StoredContext) -> None:
-        # indexes were dropped at spill time: the coarse ones are cheap and
-        # rebuilt immediately, the fine ones lazily (first sparse use or
-        # build_pending) — query samples travel inside the persisted snapshot,
-        # so the rebuild keeps the OOD query-sample benefit.  Contexts that
-        # opted out of an index class at import time stay index-free.
-        if context.wants_coarse_indexes:
+        # with index persistence on, the store re-attached the serialized
+        # indexes during the reload (bit-identical retrieval, nothing to do
+        # here); anything that did *not* come back is rebuilt — coarse
+        # immediately (cheap), fine lazily (first sparse use or
+        # build_pending).  Query samples travel inside the persisted
+        # snapshot, so a rebuild keeps the OOD query-sample benefit.
+        # Contexts that opted out of an index class at import time stay
+        # index-free.
+        if context.wants_coarse_indexes and not context.coarse_indexes:
             self._build_coarse_indexes(context)
-        if context.wants_fine_indexes:
+        if context.wants_fine_indexes and not context.has_fine_indexes:
             self._pending_fine.add(context.context_id)
 
     def touch_context(self, context_id: str) -> StoredContext:
@@ -442,6 +472,10 @@ class DB:
         self._pending_fine.discard(context_id)
         # refresh the residency mirror with the new index footprint
         self._mirror_block(self._index_block_key(context_id), context.index_bytes, BlockType.INDEX)
+        # a durable store re-persists so the deferred build still reloads as
+        # a deserialize, not another rebuild
+        if self.store_registry.durable:
+            self.store_registry.persist_indexes(context_id)
         return True
 
     def build_pending(self, limit: int | None = None) -> int:
@@ -478,4 +512,107 @@ class DB:
         self._pending_fine.discard(context_id)
         # the rebuild changed the index footprint; keep the mirror exact
         self._mirror_block(self._index_block_key(context_id), context.index_bytes, BlockType.INDEX)
+        if self.store_registry.durable:
+            self.store_registry.persist_indexes(context_id)
         return next(iter(context.fine_indexes.values()), None)
+
+    # ------------------------------------------------------------------
+    # portable context bundles (export / import)
+    # ------------------------------------------------------------------
+    def export_context(self, context_id: str, dest_dir: str | Path) -> Path:
+        """Export one context as a portable bundle directory.
+
+        The bundle holds the context's snapshot, its serialized fine/coarse
+        indexes (deferred builds are completed first so the bundle is whole),
+        and a ``bundle.json`` catalog row — enough for
+        :meth:`import_context_bundle` on another DB to serve the context
+        without re-prefilling or re-indexing.
+        """
+        context = self.touch_context(context_id)
+        if context.wants_fine_indexes:
+            self._ensure_fine_indexes(context)
+        dest = Path(dest_dir)
+        bundle = FilesystemBackend(dest)
+        snapshot_key = f"{context_id}.npz"
+        bundle.write_bytes(snapshot_key, snapshot_to_bytes(context.snapshot))
+        index_key = None
+        if context.fine_indexes or context.coarse_indexes:
+            index_key = f"{context_id}.indexes.npz"
+            bundle.write_bytes(
+                index_key,
+                serialize_context_indexes(
+                    context.fine_indexes, context.coarse_indexes, context.query_samples
+                ),
+            )
+        entry = ManifestEntry(
+            context_id=context_id,
+            tokens=list(context.tokens),
+            num_layers=context.num_layers,
+            kv_bytes=context.kv_bytes,
+            snapshot_key=snapshot_key,
+            index_key=index_key,
+            index_bytes=bundle.size_bytes(index_key) if index_key else 0,
+            wants_fine_indexes=context.wants_fine_indexes,
+            wants_coarse_indexes=context.wants_coarse_indexes,
+            metadata=dict(context.snapshot.metadata),
+        )
+        bundle.write_bytes(
+            "bundle.json",
+            json.dumps(
+                {"format_version": BUNDLE_FORMAT_VERSION, "context": entry.to_json()},
+                indent=1,
+            ).encode("utf-8"),
+        )
+        return dest
+
+    def import_context_bundle(
+        self,
+        src_dir: str | Path,
+        context_id: str | None = None,
+        overwrite: bool = False,
+    ) -> StoredContext:
+        """Import a bundle exported by :meth:`export_context`.
+
+        The snapshot and indexes are deserialized as-is (retrieval over the
+        imported context is bit-identical to the exporter's); missing index
+        classes fall back to the usual rebuild paths.  ``context_id``
+        overrides the bundled id, e.g. to avoid a collision.
+        """
+        bundle = FilesystemBackend(src_dir)
+        try:
+            payload = json.loads(bundle.read_bytes("bundle.json").decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ContextLoadError(f"corrupted bundle.json in {src_dir}: {exc}") from exc
+        version = payload.get("format_version")
+        if version != BUNDLE_FORMAT_VERSION:
+            raise ContextLoadError(
+                f"bundle format version {version!r} is not supported "
+                f"(this build reads version {BUNDLE_FORMAT_VERSION})"
+            )
+        entry = ManifestEntry.from_json(payload.get("context", {}))
+        snapshot = snapshot_from_bytes(
+            bundle.read_bytes(entry.snapshot_key), source=f"{src_dir}/{entry.snapshot_key}"
+        )
+        context = StoredContext(
+            context_id=context_id or entry.context_id,
+            snapshot=snapshot,
+            wants_fine_indexes=entry.wants_fine_indexes,
+            wants_coarse_indexes=entry.wants_coarse_indexes,
+        )
+        if entry.index_key and bundle.exists(entry.index_key):
+            fine, coarse, samples = deserialize_context_indexes(
+                bundle.read_bytes(entry.index_key)
+            )
+            if entry.wants_fine_indexes:
+                context.fine_indexes = fine
+            if entry.wants_coarse_indexes:
+                context.coarse_indexes = coarse
+            if samples and not context.query_samples:
+                context.query_samples = samples
+        if context.wants_coarse_indexes and not context.coarse_indexes:
+            self._build_coarse_indexes(context)
+        self.store_registry.add(context, overwrite=overwrite)
+        if context.wants_fine_indexes and not context.has_fine_indexes:
+            self._pending_fine.add(context.context_id)
+        self._account_residency(context)
+        return context

@@ -55,8 +55,10 @@ from ..scheduler import (
 )
 from ..simulator.cost_model import CostModel
 from ..simulator.slo import SLO, SLOReport, SLOTracker
+from ..storage.backend import StorageBackend
 from ..storage.buffer_manager import BufferStats
 from .config import AlayaDBConfig
+from .context_store import ContextStore
 from .db import DB
 from .decode_round import CrossRequestDecodeRound, DynamicAttentionPolicy, StageTimings
 from .handles import ChatSession, RequestHandle
@@ -105,6 +107,9 @@ class ServiceStats:
     decode_timings: StageTimings | None = None
     """Live per-stage decode wall-time split (retrieval vs. partial-attention
     merge vs. dense model math) summed over every decode round served."""
+    store: ContextStore | None = None
+    """Live view of the context store, exposing the disk tier: spilled and
+    on-disk byte totals plus reload counts split deserialize vs. rebuild."""
 
     @property
     def num_requests(self) -> int:
@@ -134,6 +139,31 @@ class ServiceStats:
     def buffer_hit_ratio(self) -> float:
         return self.buffer.hit_ratio if self.buffer is not None else 0.0
 
+    @property
+    def spilled_kv_bytes(self) -> int:
+        """KV bytes of contexts currently living only on the disk tier."""
+        return self.store.spilled_kv_bytes if self.store is not None else 0
+
+    @property
+    def disk_kv_bytes(self) -> int:
+        """On-disk bytes of persisted KV snapshots."""
+        return self.store.disk_kv_bytes if self.store is not None else 0
+
+    @property
+    def disk_index_bytes(self) -> int:
+        """On-disk bytes of serialized fine/coarse index blobs."""
+        return self.store.disk_index_bytes if self.store is not None else 0
+
+    @property
+    def context_reloads_deserialized(self) -> int:
+        """Reloads whose indexes came back by deserialization (no rebuild)."""
+        return self.store.reload_deserialized_count if self.store is not None else 0
+
+    @property
+    def context_reloads_rebuilt(self) -> int:
+        """Reloads that fell back to rebuilding indexes from the keys."""
+        return self.store.reload_rebuilt_count if self.store is not None else 0
+
 
 class InferenceService:
     """Serves generation requests through AlayaDB with SLO accounting.
@@ -156,17 +186,22 @@ class InferenceService:
         cost_model: CostModel | None = None,
         store_conversations: bool = False,
         storage_dir=None,
+        backend: StorageBackend | None = None,
     ):
         self.model = model
         self.config = config or AlayaDBConfig()
-        self.db = DB(self.config, storage_dir=storage_dir)
+        self.db = DB(self.config, storage_dir=storage_dir, backend=backend)
         self.loop = GenerationLoop(model)
         self.cost_model = cost_model or CostModel()
         self.store_conversations = store_conversations
         self.decode_timings = StageTimings()
         """Per-stage decode wall time (retrieval / merge / dense) across all
         decode rounds served so far; surfaced through :meth:`memory_report`."""
-        self.stats = ServiceStats(buffer=self.db.buffer_stats, decode_timings=self.decode_timings)
+        self.stats = ServiceStats(
+            buffer=self.db.buffer_stats,
+            decode_timings=self.decode_timings,
+            store=self.db.store_registry,
+        )
         self.slo_tracker = SLOTracker(self.config.slo)
         self.scheduler = RequestScheduler(
             backend=self,
@@ -624,8 +659,14 @@ class InferenceService:
         return {
             "resident_kv_bytes": store.resident_kv_bytes,
             "total_kv_bytes": store.total_kv_bytes,
+            "spilled_kv_bytes": store.spilled_kv_bytes,
+            "disk_kv_bytes": store.disk_kv_bytes,
+            "disk_index_bytes": store.disk_index_bytes,
             "context_spills": store.spill_count,
             "context_reloads": store.reload_count,
+            "context_reloads_deserialized": store.reload_deserialized_count,
+            "context_reloads_rebuilt": store.reload_rebuilt_count,
+            "manifest_generation": store.manifest_generation,
             "buffer_hits": buffer.hits,
             "buffer_misses": buffer.misses,
             "buffer_hit_ratio": buffer.hit_ratio,

@@ -85,6 +85,11 @@ class BlockNotFoundError(StorageError):
     """A block id was requested that is not present in the vector file."""
 
 
+class ContextLoadError(StorageError):
+    """Persisted context data (snapshot, index file, or manifest) is missing,
+    truncated, corrupted, or written by an incompatible format version."""
+
+
 class BufferPoolExhaustedError(StorageError):
     """The buffer pool cannot evict enough blocks to satisfy a pin request."""
 

@@ -8,6 +8,15 @@ from .graph import BeamSearchStats, NeighborGraph, beam_search
 from .hnsw import HNSWIndex
 from .knn_graph import cross_knn, exact_knn, nn_descent_knn
 from .roargraph import RoarGraphConfig, RoarGraphIndex
+from .serialization import (
+    INDEX_FORMAT_VERSION,
+    deserialize_context_indexes,
+    load_coarse,
+    load_roargraph,
+    save_coarse,
+    save_roargraph,
+    serialize_context_indexes,
+)
 
 __all__ = [
     "BeamSearchStats",
@@ -17,6 +26,7 @@ __all__ = [
     "ContextIndexBuilder",
     "FlatIndex",
     "HNSWIndex",
+    "INDEX_FORMAT_VERSION",
     "IndexBuildConfig",
     "LayerIndexes",
     "NeighborGraph",
@@ -26,7 +36,13 @@ __all__ = [
     "VectorIndex",
     "beam_search",
     "cross_knn",
+    "deserialize_context_indexes",
     "exact_knn",
+    "load_coarse",
+    "load_roargraph",
     "nn_descent_knn",
+    "save_coarse",
+    "save_roargraph",
+    "serialize_context_indexes",
     "validate_query",
 ]

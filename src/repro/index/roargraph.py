@@ -169,6 +169,24 @@ class RoarGraphIndex(VectorIndex):
         return np.asarray(kept, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # persistence (versioned save/load, see repro.index.serialization)
+    # ------------------------------------------------------------------
+    def save(self, path) -> "RoarGraphIndex":
+        """Persist this built index to ``path`` (versioned ``.npz`` format)."""
+        from .serialization import save_roargraph
+
+        save_roargraph(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path) -> "RoarGraphIndex":
+        """Load an index saved by :meth:`save`; no rebuild pass runs —
+        searches over the loaded index are bit-identical to the original."""
+        from .serialization import load_roargraph
+
+        return load_roargraph(path)
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,317 @@
+"""Versioned serialization of vector indexes (deserialize, don't rebuild).
+
+A spilled or persisted context used to come back index-less: its RoarGraph
+fine indexes were *rebuilt* from the raw keys on the next sparse use — the
+q→k kNN stage all over again.  This module gives the indexes a durable
+format so reload is a deserialize:
+
+* :class:`~repro.index.roargraph.RoarGraphIndex` round-trips as vectors +
+  CSR adjacency (``neighbor_ids`` / ``offsets``) + entry point + build
+  config — search over a loaded index is **bit-identical** to search over
+  the index that was saved;
+* :class:`~repro.index.coarse.CoarseBlockIndex` round-trips as vectors +
+  block boundaries + representative matrix;
+* a whole context's indexes (per-layer :class:`LayerIndexes`, per-layer
+  coarse lists, and the OOD query samples) pack into one ``.npz`` blob via
+  :func:`serialize_context_indexes` / :func:`deserialize_context_indexes`.
+
+Every blob embeds ``INDEX_FORMAT_VERSION``; an unknown version raises a
+clean :class:`~repro.errors.ContextLoadError` instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ContextLoadError
+from .builder import LayerIndexes
+from .coarse import BlockSummary, CoarseBlockIndex
+from .graph import NeighborGraph
+from .roargraph import RoarGraphConfig, RoarGraphIndex
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "roargraph_to_arrays",
+    "roargraph_from_arrays",
+    "coarse_to_arrays",
+    "coarse_from_arrays",
+    "save_roargraph",
+    "load_roargraph",
+    "save_coarse",
+    "load_coarse",
+    "serialize_context_indexes",
+    "deserialize_context_indexes",
+]
+
+INDEX_FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
+
+
+def _meta_array(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+
+def _parse_meta(archive) -> dict:
+    if _META_KEY not in archive.files:
+        raise ContextLoadError("index blob is missing its metadata record")
+    try:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ContextLoadError(f"corrupted index metadata: {exc}") from exc
+    version = meta.get("format_version")
+    if version != INDEX_FORMAT_VERSION:
+        raise ContextLoadError(
+            f"index format version {version!r} is not supported "
+            f"(this build reads version {INDEX_FORMAT_VERSION})"
+        )
+    return meta
+
+
+# ----------------------------------------------------------------------
+# RoarGraph
+# ----------------------------------------------------------------------
+def roargraph_to_arrays(index: RoarGraphIndex, prefix: str = "rg") -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a built RoarGraph into named arrays plus a JSON-able meta dict."""
+    graph = index.graph  # raises IndexNotBuiltError on an unbuilt index
+    arrays = {
+        f"{prefix}_vectors": index.vectors,
+        f"{prefix}_neighbor_ids": graph.neighbor_ids,
+        f"{prefix}_offsets": graph.offsets,
+    }
+    meta = {"entry_point": index.entry_point, "config": asdict(index.config)}
+    return arrays, meta
+
+
+def roargraph_from_arrays(arrays: dict[str, np.ndarray], meta: dict, prefix: str = "rg") -> RoarGraphIndex:
+    """Reconstruct a RoarGraph without rebuilding (no kNN stage runs)."""
+    try:
+        config = RoarGraphConfig(**meta["config"])
+        index = RoarGraphIndex(config)
+        index._vectors = np.asarray(arrays[f"{prefix}_vectors"], dtype=np.float32)
+        index._graph = NeighborGraph(
+            arrays[f"{prefix}_neighbor_ids"], arrays[f"{prefix}_offsets"]
+        )
+        index._entry_point = int(meta["entry_point"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ContextLoadError(f"malformed RoarGraph record: {exc!r}") from exc
+    if not 0 <= index._entry_point < index._graph.num_nodes:
+        raise ContextLoadError(
+            f"RoarGraph entry point {index._entry_point} outside graph of "
+            f"{index._graph.num_nodes} nodes"
+        )
+    if index._graph.num_nodes != index._vectors.shape[0]:
+        raise ContextLoadError(
+            f"RoarGraph adjacency covers {index._graph.num_nodes} nodes but "
+            f"{index._vectors.shape[0]} vectors were stored"
+        )
+    return index
+
+
+def save_roargraph(index: RoarGraphIndex, path: str | Path) -> Path:
+    """Persist one RoarGraph as a standalone versioned ``.npz`` file."""
+    arrays, meta = roargraph_to_arrays(index)
+    payload = {"format_version": INDEX_FORMAT_VERSION, "kind": "roargraph", "index": meta}
+    path = Path(path)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays, **{_META_KEY: _meta_array(payload)})
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+def load_roargraph(path: str | Path) -> RoarGraphIndex:
+    """Load a RoarGraph saved by :func:`save_roargraph`."""
+    try:
+        with np.load(Path(path)) as archive:
+            meta = _parse_meta(archive)
+            if meta.get("kind") != "roargraph":
+                raise ContextLoadError(f"{path} does not hold a RoarGraph (kind={meta.get('kind')!r})")
+            arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    except FileNotFoundError:
+        raise ContextLoadError(f"index file not found: {path}") from None
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        raise ContextLoadError(f"corrupted index file {path}: {exc!r}") from exc
+    return roargraph_from_arrays(arrays, meta["index"])
+
+
+def save_coarse(index: CoarseBlockIndex, path: str | Path) -> Path:
+    """Persist one coarse block index as a standalone versioned ``.npz``."""
+    arrays, meta = coarse_to_arrays(index)
+    payload = {"format_version": INDEX_FORMAT_VERSION, "kind": "coarse", "index": meta}
+    path = Path(path)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays, **{_META_KEY: _meta_array(payload)})
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+def load_coarse(path: str | Path) -> CoarseBlockIndex:
+    """Load a coarse index saved by :func:`save_coarse`."""
+    try:
+        with np.load(Path(path)) as archive:
+            meta = _parse_meta(archive)
+            if meta.get("kind") != "coarse":
+                raise ContextLoadError(f"{path} does not hold a coarse index (kind={meta.get('kind')!r})")
+            arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    except FileNotFoundError:
+        raise ContextLoadError(f"index file not found: {path}") from None
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        raise ContextLoadError(f"corrupted index file {path}: {exc!r}") from exc
+    return coarse_from_arrays(arrays, meta["index"])
+
+
+# ----------------------------------------------------------------------
+# CoarseBlockIndex
+# ----------------------------------------------------------------------
+def coarse_to_arrays(index: CoarseBlockIndex, prefix: str = "cb") -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a built coarse block index into named arrays + meta."""
+    vectors = index.vectors  # raises IndexNotBuiltError on an unbuilt index
+    arrays = {
+        f"{prefix}_vectors": vectors,
+        f"{prefix}_representatives": index._representative_matrix,
+        f"{prefix}_rep_block_ids": index._representative_block_ids,
+        f"{prefix}_block_starts": index._block_starts,
+        f"{prefix}_block_stops": index._block_stops,
+    }
+    meta = {"block_size": index.block_size, "num_representatives": index.num_representatives}
+    return arrays, meta
+
+
+def coarse_from_arrays(arrays: dict[str, np.ndarray], meta: dict, prefix: str = "cb") -> CoarseBlockIndex:
+    """Reconstruct a coarse index from its stored arrays (no rebuild pass)."""
+    try:
+        index = CoarseBlockIndex(
+            block_size=int(meta["block_size"]),
+            num_representatives=int(meta["num_representatives"]),
+        )
+        index._vectors = np.asarray(arrays[f"{prefix}_vectors"], dtype=np.float32)
+        rep_matrix = np.asarray(arrays[f"{prefix}_representatives"], dtype=np.float32)
+        rep_block_ids = np.asarray(arrays[f"{prefix}_rep_block_ids"], dtype=np.int64)
+        starts = np.asarray(arrays[f"{prefix}_block_starts"], dtype=np.int64)
+        stops = np.asarray(arrays[f"{prefix}_block_stops"], dtype=np.int64)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ContextLoadError(f"malformed coarse-index record: {exc!r}") from exc
+    if rep_block_ids.shape[0] != rep_matrix.shape[0] or starts.shape[0] != stops.shape[0]:
+        raise ContextLoadError("coarse-index arrays disagree on block counts")
+    index._representative_matrix = rep_matrix
+    index._representative_block_ids = rep_block_ids
+    counts = np.bincount(rep_block_ids, minlength=starts.shape[0])
+    index._representative_offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    index._block_starts = starts
+    index._block_stops = stops
+    index._blocks = []
+    for block_id in range(starts.shape[0]):
+        lo = int(index._representative_offsets[block_id])
+        hi = lo + int(counts[block_id])
+        index._blocks.append(
+            BlockSummary(
+                block_id=block_id,
+                start=int(starts[block_id]),
+                stop=int(stops[block_id]),
+                representatives=rep_matrix[lo:hi],
+            )
+        )
+    return index
+
+
+# ----------------------------------------------------------------------
+# whole-context bundles (what the ContextStore persists per context)
+# ----------------------------------------------------------------------
+def serialize_context_indexes(
+    fine_indexes: dict[int, LayerIndexes],
+    coarse_indexes: dict[int, list[CoarseBlockIndex]] | None = None,
+    query_samples: dict[int, np.ndarray] | None = None,
+) -> bytes:
+    """Pack a context's per-layer indexes into one versioned ``.npz`` blob."""
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"format_version": INDEX_FORMAT_VERSION, "kind": "context-indexes"}
+
+    fine_meta: dict[str, dict] = {}
+    for layer, layer_indexes in fine_indexes.items():
+        per_index_meta = []
+        for i, index in enumerate(layer_indexes.indexes):
+            sub_arrays, sub_meta = roargraph_to_arrays(index, prefix=f"f{layer}_i{i}")
+            arrays.update(sub_arrays)
+            per_index_meta.append(sub_meta)
+        fine_meta[str(layer)] = {
+            "shared": layer_indexes.shared,
+            "gqa_group_size": layer_indexes.gqa_group_size,
+            "indexes": per_index_meta,
+        }
+    meta["fine"] = fine_meta
+
+    coarse_meta: dict[str, dict] = {}
+    for layer, per_head in (coarse_indexes or {}).items():
+        head_meta = []
+        for head, index in enumerate(per_head):
+            sub_arrays, sub_meta = coarse_to_arrays(index, prefix=f"c{layer}_h{head}")
+            arrays.update(sub_arrays)
+            head_meta.append(sub_meta)
+        coarse_meta[str(layer)] = {"indexes": head_meta}
+    meta["coarse"] = coarse_meta
+
+    sample_layers = []
+    for layer, sample in (query_samples or {}).items():
+        sample = np.asarray(sample, dtype=np.float32)
+        if sample.size:
+            arrays[f"q{layer}"] = sample
+            sample_layers.append(int(layer))
+    meta["query_sample_layers"] = sample_layers
+
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays, **{_META_KEY: _meta_array(meta)})
+    return buffer.getvalue()
+
+
+def deserialize_context_indexes(
+    data: bytes,
+) -> tuple[dict[int, LayerIndexes], dict[int, list[CoarseBlockIndex]], dict[int, np.ndarray]]:
+    """Unpack :func:`serialize_context_indexes` output.
+
+    Returns ``(fine_indexes, coarse_indexes, query_samples)``; raises
+    :class:`ContextLoadError` on truncation, corruption, or an unknown
+    format version — never a raw numpy/zipfile traceback.
+    """
+    try:
+        with np.load(io.BytesIO(data)) as archive:
+            meta = _parse_meta(archive)
+            if meta.get("kind") != "context-indexes":
+                raise ContextLoadError(
+                    f"blob does not hold context indexes (kind={meta.get('kind')!r})"
+                )
+            arrays = {name: archive[name] for name in archive.files if name != _META_KEY}
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+        raise ContextLoadError(f"corrupted context-index blob: {exc!r}") from exc
+
+    fine: dict[int, LayerIndexes] = {}
+    for layer_str, layer_meta in meta.get("fine", {}).items():
+        layer = int(layer_str)
+        indexes = [
+            roargraph_from_arrays(arrays, sub_meta, prefix=f"f{layer}_i{i}")
+            for i, sub_meta in enumerate(layer_meta["indexes"])
+        ]
+        fine[layer] = LayerIndexes(
+            layer=layer,
+            indexes=indexes,
+            shared=bool(layer_meta["shared"]),
+            gqa_group_size=int(layer_meta["gqa_group_size"]),
+        )
+
+    coarse: dict[int, list[CoarseBlockIndex]] = {}
+    for layer_str, layer_meta in meta.get("coarse", {}).items():
+        layer = int(layer_str)
+        coarse[layer] = [
+            coarse_from_arrays(arrays, sub_meta, prefix=f"c{layer}_h{head}")
+            for head, sub_meta in enumerate(layer_meta["indexes"])
+        ]
+
+    samples: dict[int, np.ndarray] = {}
+    for layer in meta.get("query_sample_layers", []):
+        samples[int(layer)] = np.asarray(arrays[f"q{layer}"], dtype=np.float32)
+    return fine, coarse, samples

@@ -10,7 +10,14 @@ from .compression import (
     quantize_tensor,
 )
 from .paged import PagedKVCache, PagedLayerCache, PageTable
-from .serialization import KVSnapshot, load_snapshot, save_snapshot, snapshot_from_cache
+from .serialization import (
+    KVSnapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_from_cache,
+    snapshot_to_bytes,
+)
 
 __all__ = [
     "CompressedKV",
@@ -29,5 +36,7 @@ __all__ = [
     "load_snapshot",
     "quantize_tensor",
     "save_snapshot",
+    "snapshot_from_bytes",
     "snapshot_from_cache",
+    "snapshot_to_bytes",
 ]

@@ -2,22 +2,49 @@
 
 ``DB.import`` / ``DB.store`` persist contexts (prompt tokens + KV cache) so
 they can be reused across sessions and across process restarts.  The format is
-a single ``.npz`` archive per context plus a small JSON header, which keeps
-loading dependency-free and memory-mappable.
+a single ``.npz`` archive per context (metadata embedded, plus a small JSON
+sidecar header for human inspection), which keeps loading dependency-free.
+
+Two properties matter for the durable context database:
+
+* **crash safety** — :func:`save_snapshot` writes to a temp file and
+  ``os.replace``\\ s it into place, so a crash mid-write leaves the previous
+  snapshot (or nothing), never a truncated archive;
+* **clean failure** — a truncated/corrupted/missing snapshot raises
+  :class:`~repro.errors.ContextLoadError` (a :class:`StorageError`), never a
+  raw numpy or zipfile traceback.
+
+:func:`snapshot_to_bytes` / :func:`snapshot_from_bytes` are the in-memory
+core; storage backends persist those blobs wherever they like.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import ContextLoadError, StorageError
 from .cache import DynamicCache
 
-__all__ = ["KVSnapshot", "snapshot_from_cache", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "KVSnapshot",
+    "snapshot_from_cache",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
 
 
 @dataclass
@@ -75,11 +102,7 @@ def snapshot_from_cache(tokens: list[int], cache: DynamicCache) -> KVSnapshot:
     return snapshot
 
 
-def save_snapshot(snapshot: KVSnapshot, directory: str | Path, name: str) -> Path:
-    """Persist ``snapshot`` under ``directory/name`` and return the data path."""
-    snapshot.validate()
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def _snapshot_arrays(snapshot: KVSnapshot) -> dict[str, np.ndarray]:
     arrays: dict[str, np.ndarray] = {"tokens": np.asarray(snapshot.tokens, dtype=np.int64)}
     for layer, key_tensor in snapshot.keys.items():
         arrays[f"key_{layer}"] = key_tensor
@@ -87,44 +110,115 @@ def save_snapshot(snapshot: KVSnapshot, directory: str | Path, name: str) -> Pat
     for layer, sample in snapshot.query_samples.items():
         if sample is not None and sample.size:
             arrays[f"qsample_{layer}"] = np.asarray(sample, dtype=np.float32)
-    data_path = directory / f"{name}.npz"
-    np.savez_compressed(data_path, **arrays)
-    header = {
-        "name": name,
+    return arrays
+
+
+def snapshot_to_bytes(snapshot: KVSnapshot) -> bytes:
+    """Serialize a validated snapshot into one self-describing ``.npz`` blob."""
+    snapshot.validate()
+    arrays = _snapshot_arrays(snapshot)
+    meta = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
         "num_tokens": snapshot.num_tokens,
         "num_layers": snapshot.num_layers,
         "metadata": snapshot.metadata,
     }
-    (directory / f"{name}.json").write_text(json.dumps(header, indent=2))
+    meta_array = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays, **{_META_KEY: meta_array})
+    return buffer.getvalue()
+
+
+def snapshot_from_bytes(data: bytes, source: str = "<bytes>") -> KVSnapshot:
+    """Deserialize :func:`snapshot_to_bytes` output.
+
+    Raises :class:`ContextLoadError` on truncation, corruption, or an
+    unsupported format version.
+    """
+    metadata: dict[str, str] = {}
+    try:
+        with np.load(io.BytesIO(data)) as archive:
+            if _META_KEY in archive.files:
+                meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+                version = meta.get("format_version")
+                if version != SNAPSHOT_FORMAT_VERSION:
+                    raise ContextLoadError(
+                        f"snapshot {source}: format version {version!r} is not supported "
+                        f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+                    )
+                metadata = dict(meta.get("metadata", {}))
+            tokens = [int(t) for t in archive["tokens"]]
+            keys: dict[int, np.ndarray] = {}
+            values: dict[int, np.ndarray] = {}
+            query_samples: dict[int, np.ndarray] = {}
+            for array_name in archive.files:
+                if array_name.startswith("key_"):
+                    keys[int(array_name[4:])] = archive[array_name]
+                elif array_name.startswith("value_"):
+                    values[int(array_name[6:])] = archive[array_name]
+                elif array_name.startswith("qsample_"):
+                    query_samples[int(array_name[8:])] = archive[array_name]
+    except ContextLoadError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ContextLoadError(f"snapshot {source} is truncated or corrupted: {exc!r}") from exc
+    snapshot = KVSnapshot(
+        tokens=tokens, keys=keys, values=values, metadata=metadata, query_samples=query_samples
+    )
+    try:
+        snapshot.validate()
+    except StorageError as exc:
+        raise ContextLoadError(f"snapshot {source} is internally inconsistent: {exc}") from exc
+    return snapshot
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-temp-then-rename so a crash never leaves a truncated file."""
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def save_snapshot(snapshot: KVSnapshot, directory: str | Path, name: str) -> Path:
+    """Persist ``snapshot`` under ``directory/name`` and return the data path.
+
+    Both the archive and the JSON sidecar header are written atomically
+    (temp file + ``os.replace``): a crash mid-save leaves the previous
+    snapshot intact rather than a truncated archive.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    data_path = directory / f"{name}.npz"
+    _atomic_write(data_path, snapshot_to_bytes(snapshot))
+    header = {
+        "name": name,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "num_tokens": snapshot.num_tokens,
+        "num_layers": snapshot.num_layers,
+        "metadata": snapshot.metadata,
+    }
+    _atomic_write(directory / f"{name}.json", json.dumps(header, indent=2).encode("utf-8"))
     return data_path
 
 
 def load_snapshot(directory: str | Path, name: str) -> KVSnapshot:
-    """Load a snapshot persisted by :func:`save_snapshot`."""
+    """Load a snapshot persisted by :func:`save_snapshot`.
+
+    A missing, truncated, or corrupted snapshot raises a clean
+    :class:`ContextLoadError` naming the file.
+    """
     directory = Path(directory)
     data_path = directory / f"{name}.npz"
-    header_path = directory / f"{name}.json"
     if not data_path.exists():
-        raise StorageError(f"snapshot data not found: {data_path}")
-    header = json.loads(header_path.read_text()) if header_path.exists() else {}
-    with np.load(data_path) as archive:
-        tokens = [int(t) for t in archive["tokens"]]
-        keys: dict[int, np.ndarray] = {}
-        values: dict[int, np.ndarray] = {}
-        query_samples: dict[int, np.ndarray] = {}
-        for array_name in archive.files:
-            if array_name.startswith("key_"):
-                keys[int(array_name[4:])] = archive[array_name]
-            elif array_name.startswith("value_"):
-                values[int(array_name[6:])] = archive[array_name]
-            elif array_name.startswith("qsample_"):
-                query_samples[int(array_name[8:])] = archive[array_name]
-    snapshot = KVSnapshot(
-        tokens=tokens,
-        keys=keys,
-        values=values,
-        metadata=header.get("metadata", {}),
-        query_samples=query_samples,
-    )
-    snapshot.validate()
-    return snapshot
+        raise ContextLoadError(f"snapshot data not found: {data_path}")
+    return snapshot_from_bytes(data_path.read_bytes(), source=str(data_path))

@@ -1,9 +1,12 @@
-"""Vector storage engine: block layout, vector files, buffer manager."""
+"""Vector storage engine: block layout, vector files, buffer manager, and the
+durable-tier storage backends + manifest of the context database."""
 
+from .backend import FilesystemBackend, InMemoryBackend, StorageBackend, make_backend
 from .blocks import BlockId, BlockType, DataBlock, IndexBlock, ResidencyBlock
 from .buffer_manager import BufferFrame, BufferManager, BufferStats
 from .filesystem import VectorFileKey, VectorFileSystem
 from .io_model import IOModel, IOStats
+from .manifest import MANIFEST_FORMAT_VERSION, MANIFEST_KEY, ContextManifest, ManifestEntry
 from .vector_file import VectorFile, VectorFileMeta
 
 __all__ = [
@@ -12,13 +15,21 @@ __all__ = [
     "BufferFrame",
     "BufferManager",
     "BufferStats",
+    "ContextManifest",
     "DataBlock",
+    "FilesystemBackend",
     "IOModel",
     "IOStats",
+    "InMemoryBackend",
     "IndexBlock",
+    "MANIFEST_FORMAT_VERSION",
+    "MANIFEST_KEY",
+    "ManifestEntry",
     "ResidencyBlock",
+    "StorageBackend",
     "VectorFile",
     "VectorFileKey",
     "VectorFileMeta",
     "VectorFileSystem",
+    "make_backend",
 ]

@@ -1,0 +1,148 @@
+"""The persistent manifest of the durable context database.
+
+The manifest is the database's catalog: one JSON object recording, for every
+persisted context, its id, token sequence, snapshot/index object keys, byte
+sizes, and index policy.  A restarted :class:`~repro.core.service.InferenceService`
+— or a second process sharing the directory — reads it on
+``ContextStore.open`` and can prefix-match and serve contexts it never
+prefilled.
+
+Crash safety comes from two sides: the backend's atomic write (temp +
+rename, so a reader never sees a torn manifest) and a monotonically
+increasing **generation** stamp, bumped on every write, so stale copies are
+detectable and a reopened store continues the sequence instead of resetting
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ContextLoadError
+from .backend import StorageBackend
+
+__all__ = ["MANIFEST_FORMAT_VERSION", "MANIFEST_KEY", "ManifestEntry", "ContextManifest"]
+
+MANIFEST_FORMAT_VERSION = 1
+MANIFEST_KEY = "manifest.json"
+
+
+@dataclass
+class ManifestEntry:
+    """Catalog row for one persisted context."""
+
+    context_id: str
+    tokens: list[int]
+    num_layers: int
+    kv_bytes: int
+    snapshot_key: str
+    index_key: str | None = None
+    """Key of the serialized fine/coarse index bundle; ``None`` when the
+    context's indexes were never persisted (reload falls back to rebuild)."""
+    index_bytes: int = 0
+    wants_fine_indexes: bool = True
+    wants_coarse_indexes: bool = True
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+    def to_json(self) -> dict:
+        return {
+            "context_id": self.context_id,
+            "tokens": self.tokens,
+            "num_layers": self.num_layers,
+            "kv_bytes": self.kv_bytes,
+            "snapshot_key": self.snapshot_key,
+            "index_key": self.index_key,
+            "index_bytes": self.index_bytes,
+            "wants_fine_indexes": self.wants_fine_indexes,
+            "wants_coarse_indexes": self.wants_coarse_indexes,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ManifestEntry":
+        try:
+            return cls(
+                context_id=payload["context_id"],
+                tokens=[int(t) for t in payload["tokens"]],
+                num_layers=int(payload["num_layers"]),
+                kv_bytes=int(payload["kv_bytes"]),
+                snapshot_key=payload["snapshot_key"],
+                index_key=payload.get("index_key"),
+                index_bytes=int(payload.get("index_bytes", 0)),
+                wants_fine_indexes=bool(payload.get("wants_fine_indexes", True)),
+                wants_coarse_indexes=bool(payload.get("wants_coarse_indexes", True)),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ContextLoadError(f"malformed manifest entry: {exc!r}") from exc
+
+
+class ContextManifest:
+    """The generation-stamped catalog of every persisted context."""
+
+    def __init__(self, entries: dict[str, ManifestEntry] | None = None, generation: int = 0):
+        self.entries: dict[str, ManifestEntry] = dict(entries or {})
+        self.generation = generation
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, context_id: str) -> bool:
+        return context_id in self.entries
+
+    def get(self, context_id: str) -> ManifestEntry | None:
+        return self.entries.get(context_id)
+
+    def upsert(self, entry: ManifestEntry) -> None:
+        self.entries[entry.context_id] = entry
+
+    def remove(self, context_id: str) -> bool:
+        return self.entries.pop(context_id, None) is not None
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, backend: StorageBackend, key: str = MANIFEST_KEY) -> int:
+        """Atomically write the manifest, bumping its generation stamp."""
+        self.generation += 1
+        payload = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "generation": self.generation,
+            "contexts": [self.entries[cid].to_json() for cid in sorted(self.entries)],
+        }
+        backend.write_bytes(key, json.dumps(payload, indent=1).encode("utf-8"))
+        return self.generation
+
+    @classmethod
+    def load(cls, backend: StorageBackend, key: str = MANIFEST_KEY) -> "ContextManifest":
+        """Read the manifest back; raises :class:`ContextLoadError` when the
+        blob is corrupted or written by an unknown format version."""
+        raw = backend.read_bytes(key)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ContextLoadError(f"corrupted context manifest under {key!r}: {exc}") from exc
+        version = payload.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise ContextLoadError(
+                f"manifest format version {version!r} is not supported "
+                f"(this build reads version {MANIFEST_FORMAT_VERSION})"
+            )
+        entries = {}
+        for row in payload.get("contexts", []):
+            entry = ManifestEntry.from_json(row)
+            entries[entry.context_id] = entry
+        return cls(entries=entries, generation=int(payload.get("generation", 0)))
+
+    @classmethod
+    def load_or_empty(cls, backend: StorageBackend, key: str = MANIFEST_KEY) -> "ContextManifest":
+        """Like :meth:`load`, but an *absent* manifest yields an empty one
+        (a fresh directory); corruption still raises."""
+        if not backend.exists(key):
+            return cls()
+        return cls.load(backend, key)

@@ -244,14 +244,16 @@ class TestQuerySamplePersistence:
     def test_rebuild_after_reload_keeps_ood_sample(self, tmp_path):
         """The post-reload lazy rebuild must index with the persisted query
         sample: the rebuilt index equals a fresh build from those samples,
-        not the keys-only fallback."""
+        not the keys-only fallback.  (With ``persist_fine_indexes`` off the
+        reload cannot deserialize, so it exercises the rebuild path.)"""
         model = TransformerModel(ModelConfig.tiny(seed=103))
-        db = DB(AlayaDBConfig(), storage_dir=tmp_path)
+        db = DB(AlayaDBConfig(persist_fine_indexes=False), storage_dir=tmp_path)
         document = "the ood benefit must survive reloads too. " * 12
         context = db.prefill_and_import(model, document, context_id="doc")
         db.store_registry.spill("doc")
         db.store_registry.ensure_resident("doc")
         # the reload queued a lazy fine rebuild; drain it
+        assert db.store_registry.reload_rebuilt_count == 1
         assert db.num_pending_index_builds == 1
         assert db.build_pending() == 1
         rebuilt = db.get_context("doc")

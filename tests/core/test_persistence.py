@@ -1,0 +1,299 @@
+"""Tests of the durable context database: restart-and-reuse.
+
+The headline property: a :class:`ContextStore`/:class:`DB`/:class:`InferenceService`
+opened over a directory (or shared backend) a *previous* instance populated
+serves those contexts — prefix matching, KV reuse, and retrieval over
+deserialized indexes all work without re-prefilling or re-indexing — and the
+reloaded indexes search bit-identically to the originals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlayaDBConfig
+from repro.core.context_store import ContextStore
+from repro.core.db import DB
+from repro.core.service import InferenceService
+from repro.errors import ContextLoadError
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.storage.backend import InMemoryBackend
+from repro.storage.manifest import MANIFEST_KEY
+from tests.conftest import make_context
+
+
+DOC = "the durable context database must survive a restart. " * 14
+QUESTION = " what survives a restart?"
+
+
+def _service(tmp_path, seed=113, **config_kwargs):
+    model = TransformerModel(ModelConfig.tiny(seed=seed))
+    config = AlayaDBConfig(
+        window_initial_tokens=8,
+        window_last_tokens=16,
+        short_context_threshold=64,
+        gpu_memory_budget_bytes=1,
+        max_retrieved_tokens=64,
+        context_db_path=str(tmp_path / "ctxdb"),
+        **config_kwargs,
+    )
+    return InferenceService(model, config)
+
+
+class TestDurableContextStore:
+    def test_open_recovers_population_cold(self, tmp_path):
+        store = ContextStore.open(tmp_path / "db")
+        context = make_context(context_id="ctx-0007", seed=3)
+        original_keys = context.keys(0).copy()
+        tokens = list(context.tokens)
+        store.add(context)
+        assert store.manifest_generation >= 1
+
+        reopened = ContextStore.open(tmp_path / "db")
+        assert "ctx-0007" in reopened
+        recovered = reopened.get("ctx-0007")
+        # recovered cold: prefix-matchable now, KV loaded on first use
+        assert not recovered.is_resident
+        assert recovered.tokens == tokens
+        match = reopened.find_longest_prefix(tokens + [9999])
+        assert match.context.context_id == "ctx-0007"
+        assert match.prefix_length == len(tokens)
+        reopened.ensure_resident("ctx-0007")
+        np.testing.assert_array_equal(recovered.keys(0), original_keys)
+
+    def test_generation_continues_across_reopen(self, tmp_path):
+        store = ContextStore.open(tmp_path / "db")
+        store.add(make_context(context_id="a", seed=1))
+        first = store.manifest_generation
+        reopened = ContextStore.open(tmp_path / "db")
+        assert reopened.manifest_generation == first
+        reopened.add(make_context(context_id="b", num_tokens=32, seed=2))
+        assert reopened.manifest_generation > first
+
+    def test_two_stores_share_a_backend(self, tmp_path):
+        """A second store opened over the same storage serves contexts the
+        first one stored — the two-process sharing model."""
+        backend = InMemoryBackend()
+        writer = ContextStore.open(backend)
+        context = make_context(context_id="shared", seed=5)
+        tokens = list(context.tokens)
+        writer.add(context)
+
+        reader = ContextStore.open(backend)
+        assert reader.find_longest_prefix(tokens).prefix_length == len(tokens)
+        loaded = reader.ensure_resident("shared")
+        np.testing.assert_array_equal(loaded.keys(0), writer.get("shared").keys(0))
+
+    def test_remove_deletes_blobs_and_manifest_row(self, tmp_path):
+        store = ContextStore.open(tmp_path / "db")
+        store.add(make_context(context_id="gone", seed=7))
+        assert store.backend.exists("gone.npz")
+        store.remove("gone")
+        assert not store.backend.exists("gone.npz")
+        reopened = ContextStore.open(tmp_path / "db")
+        assert "gone" not in reopened
+
+    def test_corrupted_manifest_raises_clean_error(self, tmp_path):
+        store = ContextStore.open(tmp_path / "db")
+        store.add(make_context(context_id="x", seed=9))
+        store.backend.write_bytes(MANIFEST_KEY, b"\x00torn")
+        with pytest.raises(ContextLoadError):
+            ContextStore.open(tmp_path / "db")
+
+    def test_corrupted_snapshot_raises_clean_error(self, tmp_path):
+        store = ContextStore.open(tmp_path / "db")
+        store.add(make_context(context_id="x", seed=9))
+        blob = store.backend.read_bytes("x.npz")
+        store.backend.write_bytes("x.npz", blob[: len(blob) // 3])
+        reopened = ContextStore.open(tmp_path / "db")
+        with pytest.raises(ContextLoadError):
+            reopened.ensure_resident("x")
+
+    def test_corrupted_index_blob_degrades_to_rebuild(self, tmp_path):
+        """A torn index blob must not fail the reload — the context comes
+        back index-less and the rebuild path takes over."""
+        model = TransformerModel(ModelConfig.tiny(seed=31))
+        db = DB(AlayaDBConfig(context_db_path=str(tmp_path / "db")))
+        db.prefill_and_import(model, DOC, context_id="doc")
+        db.store_registry.backend.write_bytes("doc.indexes.npz", b"garbage")
+        db2 = DB(AlayaDBConfig(context_db_path=str(tmp_path / "db")))
+        context = db2.store_registry.ensure_resident("doc")
+        assert context.is_resident
+        assert db2.store_registry.reload_rebuilt_count == 1
+        assert not context.has_fine_indexes  # queued for lazy rebuild instead
+        assert db2.num_pending_index_builds == 1
+
+
+class TestDBRestart:
+    def test_restart_reuses_prefix_and_deserializes_indexes(self, tmp_path):
+        model = TransformerModel(ModelConfig.tiny(seed=29))
+        config = AlayaDBConfig(context_db_path=str(tmp_path / "db"))
+        db = DB(config)
+        original = db.prefill_and_import(model, DOC, context_id="doc")
+        assert original.has_fine_indexes
+        doc_tokens = db.tokenize(DOC)
+
+        db2 = DB(AlayaDBConfig(context_db_path=str(tmp_path / "db")))
+        assert db2.num_contexts == 1
+        session, truncated = db2.create_session(DOC + QUESTION)
+        assert session.is_connected
+        assert session.reused_prefix_length == len(doc_tokens)
+        assert len(truncated) == len(db2.tokenize(DOC + QUESTION)) - len(doc_tokens)
+        # the reload was a deserialize, not a rebuild
+        assert db2.store_registry.reload_deserialized_count == 1
+        assert db2.store_registry.reload_rebuilt_count == 0
+        reloaded = db2.get_context("doc")
+        assert reloaded.has_fine_indexes
+        assert db2.num_pending_index_builds == 0
+        session.close()
+
+        # retrieval equivalence: the deserialized fine index searches
+        # bit-identically to the one the first DB built
+        rng = np.random.default_rng(17)
+        for layer, layer_indexes in original.fine_indexes.items():
+            restored = reloaded.fine_indexes[layer]
+            for a, b in zip(layer_indexes.indexes, restored.indexes):
+                for _ in range(5):
+                    query = rng.normal(size=a.vectors.shape[1]).astype(np.float32)
+                    ra, rb = a.search_topk(query, k=8), b.search_topk(query, k=8)
+                    np.testing.assert_array_equal(ra.indices, rb.indices)
+                    np.testing.assert_array_equal(ra.scores, rb.scores)
+
+    def test_restart_continues_context_id_sequence(self, tmp_path):
+        model = TransformerModel(ModelConfig.tiny(seed=37))
+        db = DB(AlayaDBConfig(context_db_path=str(tmp_path / "db")))
+        first = db.prefill_and_import(model, "alpha " * 30)
+        db2 = DB(AlayaDBConfig(context_db_path=str(tmp_path / "db")))
+        second = db2.prefill_and_import(model, "beta " * 30)
+        assert first.context_id != second.context_id
+        assert first.context_id in db2.store_registry
+
+    def test_persist_fine_indexes_off_falls_back_to_rebuild(self, tmp_path):
+        model = TransformerModel(ModelConfig.tiny(seed=41))
+        config = AlayaDBConfig(
+            context_db_path=str(tmp_path / "db"), persist_fine_indexes=False
+        )
+        DB(config).prefill_and_import(model, DOC, context_id="doc")
+        db2 = DB(config)
+        db2.store_registry.ensure_resident("doc")
+        assert db2.store_registry.reload_rebuilt_count == 1
+        assert db2.num_pending_index_builds == 1  # fine rebuild queued lazily
+
+    def test_memory_backend_database(self, tmp_path):
+        """The ``storage_backend`` knob routes the database through the
+        in-memory backend (no files under the path)."""
+        model = TransformerModel(ModelConfig.tiny(seed=43))
+        config = AlayaDBConfig(
+            context_db_path=str(tmp_path / "db"), storage_backend="memory"
+        )
+        db = DB(config)
+        db.prefill_and_import(model, "ephemeral " * 20, context_id="doc")
+        db.store_registry.spill("doc")
+        assert not (tmp_path / "db").exists() or not any((tmp_path / "db").iterdir())
+        assert db.store_registry.ensure_resident("doc").is_resident
+
+
+class TestExportImportBundle:
+    def test_bundle_moves_context_between_dbs(self, tmp_path):
+        model = TransformerModel(ModelConfig.tiny(seed=47))
+        source = DB(AlayaDBConfig())
+        context = source.prefill_and_import(model, DOC, context_id="doc")
+        source.export_context("doc", tmp_path / "bundle")
+
+        target = DB(AlayaDBConfig())  # no shared storage at all
+        imported = target.import_context_bundle(tmp_path / "bundle")
+        assert imported.context_id == "doc"
+        assert imported.tokens == context.tokens
+        assert imported.has_fine_indexes
+        np.testing.assert_array_equal(imported.keys(0), context.keys(0))
+        # imported indexes search bit-identically to the exporter's
+        rng = np.random.default_rng(23)
+        for layer, layer_indexes in context.fine_indexes.items():
+            for a, b in zip(layer_indexes.indexes, imported.fine_indexes[layer].indexes):
+                query = rng.normal(size=a.vectors.shape[1]).astype(np.float32)
+                ra, rb = a.search_topk(query, k=8), b.search_topk(query, k=8)
+                np.testing.assert_array_equal(ra.indices, rb.indices)
+        # and the prompt prefix-matches through the imported context
+        match = target.store_registry.find_longest_prefix(target.tokenize(DOC + "?"))
+        assert match.context.context_id == "doc"
+
+    def test_import_under_new_id(self, tmp_path):
+        model = TransformerModel(ModelConfig.tiny(seed=53))
+        source = DB(AlayaDBConfig())
+        source.prefill_and_import(model, "renamed on import " * 10, context_id="doc")
+        source.export_context("doc", tmp_path / "bundle")
+        target = DB(AlayaDBConfig())
+        imported = target.import_context_bundle(tmp_path / "bundle", context_id="copy")
+        assert imported.context_id == "copy"
+        assert "copy" in target.store_registry
+
+    def test_corrupted_bundle_raises_clean_error(self, tmp_path):
+        (tmp_path / "bundle").mkdir()
+        (tmp_path / "bundle" / "bundle.json").write_bytes(b"{nope")
+        with pytest.raises(ContextLoadError):
+            DB(AlayaDBConfig()).import_context_bundle(tmp_path / "bundle")
+
+
+class TestServiceRestart:
+    def test_restarted_service_serves_token_identical(self, tmp_path):
+        """Ingest + serve, drop the service, reopen the same directory:
+        the restarted service prefix-matches the recovered context and
+        generates the *same tokens* with the same reuse."""
+        service1 = _service(tmp_path)
+        service1.ingest(DOC, context_id="doc")
+        result1, record1 = service1.serve(DOC + QUESTION, max_new_tokens=6)
+        assert record1.reused_tokens > 0
+
+        service2 = _service(tmp_path)  # fresh model object, same weights seed
+        assert service2.num_contexts >= 1
+        result2, record2 = service2.serve(DOC + QUESTION, max_new_tokens=6)
+        assert record2.reused_tokens == record1.reused_tokens
+        assert result2.generated_tokens == result1.generated_tokens
+        report = service2.memory_report()
+        assert report["context_reloads_deserialized"] >= 1
+        assert report["context_reloads_rebuilt"] == 0
+
+    def test_restart_ttft_benefits_from_reuse(self, tmp_path):
+        """The restarted service's prefill only covers the question suffix —
+        the recovered context absorbs the document, like a warm service."""
+        service1 = _service(tmp_path)
+        service1.ingest(DOC, context_id="doc")
+        _, warm = service1.serve(DOC + QUESTION, max_new_tokens=2)
+
+        service2 = _service(tmp_path)
+        _, restarted = service2.serve(DOC + QUESTION, max_new_tokens=2)
+        assert restarted.reused_tokens == warm.reused_tokens
+        prompt_tokens = len(service2.db.tokenize(DOC + QUESTION))
+        assert restarted.reused_tokens >= prompt_tokens - len(
+            service2.db.tokenize(QUESTION)
+        ) - 1
+
+    def test_chat_session_resumes_after_restart(self, tmp_path):
+        service1 = _service(tmp_path)
+        chat1 = service1.chat(max_new_tokens=3)
+        chat1.ask("the first turn writes durable history " * 6)
+        context_id = chat1.context_id
+        stored_tokens = chat1.transcript_tokens()
+        assert stored_tokens
+
+        service2 = _service(tmp_path)
+        chat2 = service2.chat(context_id=context_id, max_new_tokens=3)
+        assert chat2.transcript_tokens() == stored_tokens  # recovered cold
+        turn = chat2.ask("and the second turn continues it")
+        assert turn.record.reused_tokens > 0
+        assert len(chat2.transcript_tokens()) > len(stored_tokens)
+
+    def test_memory_report_exposes_disk_tier(self, tmp_path):
+        service = _service(tmp_path)
+        service.ingest(DOC, context_id="doc")
+        service.db.store_registry.spill("doc")
+        report = service.memory_report()
+        assert report["disk_kv_bytes"] > 0
+        assert report["disk_index_bytes"] > 0
+        assert report["spilled_kv_bytes"] > 0
+        assert report["manifest_generation"] >= 1
+        assert service.stats.disk_kv_bytes == report["disk_kv_bytes"]
+        assert service.stats.spilled_kv_bytes == report["spilled_kv_bytes"]
+        service.db.touch_context("doc")
+        assert service.stats.context_reloads_deserialized == 1
+        assert service.memory_report()["spilled_kv_bytes"] == 0

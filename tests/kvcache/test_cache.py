@@ -2,16 +2,25 @@
 
 from __future__ import annotations
 
+import io
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import StorageError
+from repro.errors import ContextLoadError, StorageError
 from repro.kvcache.cache import DynamicCache, LayerKVCache
 from repro.kvcache.compression import compress_kv, decompress_kv, dequantize_tensor, quantize_tensor
 from repro.kvcache.paged import PagedKVCache, PagedLayerCache
-from repro.kvcache.serialization import KVSnapshot, load_snapshot, save_snapshot, snapshot_from_cache
+from repro.kvcache.serialization import (
+    KVSnapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_from_cache,
+    snapshot_to_bytes,
+)
 
 
 def _kv(num_heads=2, n=4, dim=8, seed=0):
@@ -204,3 +213,60 @@ class TestSerialization:
     def test_missing_snapshot_raises(self, tmp_path):
         with pytest.raises(StorageError):
             load_snapshot(tmp_path, "nope")
+
+
+class TestCrashSafety:
+    """A crash mid-save or a torn file must never surface as a raw numpy or
+    zipfile traceback — always a clean :class:`ContextLoadError`."""
+
+    def _snapshot(self, n=6):
+        k, v = _kv(n=n)
+        return KVSnapshot(tokens=list(range(n)), keys={0: k}, values={0: v})
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        for _ in range(3):
+            save_snapshot(self._snapshot(), tmp_path, "ctx")
+        assert [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+        assert (tmp_path / "ctx.npz").exists()
+        assert (tmp_path / "ctx.json").exists()  # human-readable sidecar
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        save_snapshot(self._snapshot(n=4), tmp_path, "ctx")
+        save_snapshot(self._snapshot(n=8), tmp_path, "ctx")
+        assert load_snapshot(tmp_path, "ctx").num_tokens == 8
+
+    def test_truncated_snapshot_raises_context_load_error(self, tmp_path):
+        path = save_snapshot(self._snapshot(), tmp_path, "ctx")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(ContextLoadError):
+            load_snapshot(tmp_path, "ctx")
+
+    def test_garbage_snapshot_raises_context_load_error(self, tmp_path):
+        (tmp_path / "ctx.npz").write_bytes(b"not an npz archive at all")
+        with pytest.raises(ContextLoadError):
+            load_snapshot(tmp_path, "ctx")
+
+    def test_unknown_format_version_raises(self):
+        import json
+
+        meta = {"format_version": 999, "num_tokens": 0, "num_layers": 0, "metadata": {}}
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            tokens=np.asarray([], dtype=np.int64),
+            __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ContextLoadError):
+            snapshot_from_bytes(buffer.getvalue())
+
+    def test_bytes_roundtrip(self):
+        snapshot = self._snapshot()
+        snapshot.metadata = {"origin": "unit-test"}
+        loaded = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+        assert loaded.tokens == snapshot.tokens
+        assert loaded.metadata == {"origin": "unit-test"}
+        np.testing.assert_allclose(loaded.keys[0], snapshot.keys[0], atol=1e-7)
+
+    def test_context_load_error_is_storage_error(self):
+        # callers catching the historic StorageError keep working
+        assert issubclass(ContextLoadError, StorageError)

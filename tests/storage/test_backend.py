@@ -1,0 +1,169 @@
+"""Tests of the durable-tier storage backends and the persistent manifest."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ContextLoadError, StorageError
+from repro.storage.backend import FilesystemBackend, InMemoryBackend, make_backend
+from repro.storage.manifest import (
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_KEY,
+    ContextManifest,
+    ManifestEntry,
+)
+
+
+@pytest.fixture(params=["filesystem", "memory"])
+def backend(request, tmp_path):
+    if request.param == "filesystem":
+        return FilesystemBackend(tmp_path / "db")
+    return InMemoryBackend()
+
+
+class TestBackendContract:
+    """Both backends must satisfy the same blob-store contract."""
+
+    def test_write_read_roundtrip(self, backend):
+        backend.write_bytes("a.npz", b"hello")
+        assert backend.read_bytes("a.npz") == b"hello"
+        assert backend.exists("a.npz")
+        assert backend.size_bytes("a.npz") == 5
+
+    def test_overwrite_replaces(self, backend):
+        backend.write_bytes("k", b"old")
+        backend.write_bytes("k", b"newer")
+        assert backend.read_bytes("k") == b"newer"
+
+    def test_missing_key_raises_context_load_error(self, backend):
+        with pytest.raises(ContextLoadError):
+            backend.read_bytes("absent")
+        assert not backend.exists("absent")
+        assert backend.size_bytes("absent") == 0
+
+    def test_delete(self, backend):
+        backend.write_bytes("k", b"x")
+        assert backend.delete("k")
+        assert not backend.exists("k")
+        assert not backend.delete("k")  # idempotent no-op
+
+    def test_list_keys_prefix_and_order(self, backend):
+        for key in ("ctx-2.npz", "ctx-1.npz", "ctx-1.indexes.npz", "manifest.json"):
+            backend.write_bytes(key, b"x")
+        assert backend.list_keys("ctx-") == ["ctx-1.indexes.npz", "ctx-1.npz", "ctx-2.npz"]
+        assert backend.list_keys() == sorted(backend.list_keys())
+
+    def test_total_bytes(self, backend):
+        backend.write_bytes("a", b"12")
+        backend.write_bytes("b", b"3456")
+        backend.write_bytes("other", b"7")
+        assert backend.total_bytes() == 7
+        assert backend.total_bytes("a") == 2
+
+
+class TestFilesystemBackend:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        backend = FilesystemBackend(tmp_path)
+        for i in range(5):
+            backend.write_bytes("blob", b"v%d" % i)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert backend.read_bytes("blob") == b"v4"
+
+    def test_list_keys_skips_temp_files(self, tmp_path):
+        backend = FilesystemBackend(tmp_path)
+        backend.write_bytes("real", b"x")
+        (tmp_path / ".real.abc123.tmp").write_bytes(b"torn write")
+        assert backend.list_keys() == ["real"]
+
+    def test_key_escape_rejected(self, tmp_path):
+        backend = FilesystemBackend(tmp_path / "root")
+        with pytest.raises(StorageError):
+            backend.write_bytes("../escape", b"x")
+
+    def test_location_is_root(self, tmp_path):
+        assert FilesystemBackend(tmp_path).location == str(tmp_path)
+
+
+class TestMakeBackend:
+    def test_filesystem_requires_path(self):
+        with pytest.raises(StorageError):
+            make_backend("filesystem")
+
+    def test_kinds(self, tmp_path):
+        assert isinstance(make_backend("filesystem", tmp_path), FilesystemBackend)
+        assert isinstance(make_backend("memory"), InMemoryBackend)
+        with pytest.raises(StorageError):
+            make_backend("s3")
+
+
+def _entry(cid="ctx-0000", tokens=(1, 2, 3)):
+    return ManifestEntry(
+        context_id=cid,
+        tokens=list(tokens),
+        num_layers=2,
+        kv_bytes=4096,
+        snapshot_key=f"{cid}.npz",
+        index_key=f"{cid}.indexes.npz",
+        index_bytes=512,
+        metadata={"source": "test"},
+    )
+
+
+class TestManifest:
+    def test_roundtrip(self, backend):
+        manifest = ContextManifest()
+        manifest.upsert(_entry("ctx-0000", [1, 2, 3]))
+        manifest.upsert(_entry("ctx-0001", [4, 5]))
+        manifest.save(backend)
+
+        loaded = ContextManifest.load(backend)
+        assert len(loaded) == 2
+        entry = loaded.get("ctx-0000")
+        assert entry.tokens == [1, 2, 3]
+        assert entry.num_layers == 2
+        assert entry.snapshot_key == "ctx-0000.npz"
+        assert entry.index_key == "ctx-0000.indexes.npz"
+        assert entry.metadata == {"source": "test"}
+        assert entry.num_tokens == 3
+
+    def test_generation_bumps_and_survives_reopen(self, backend):
+        manifest = ContextManifest()
+        manifest.upsert(_entry())
+        assert manifest.save(backend) == 1
+        assert manifest.save(backend) == 2
+        reopened = ContextManifest.load(backend)
+        assert reopened.generation == 2
+        # the reopened manifest continues the sequence, not resets it
+        assert reopened.save(backend) == 3
+
+    def test_load_or_empty_on_fresh_storage(self, backend):
+        manifest = ContextManifest.load_or_empty(backend)
+        assert len(manifest) == 0
+        assert manifest.generation == 0
+
+    def test_corrupted_manifest_raises(self, backend):
+        backend.write_bytes(MANIFEST_KEY, b"{not json")
+        with pytest.raises(ContextLoadError):
+            ContextManifest.load(backend)
+        with pytest.raises(ContextLoadError):
+            ContextManifest.load_or_empty(backend)  # corruption is not "empty"
+
+    def test_unknown_format_version_raises(self, backend):
+        payload = {"format_version": MANIFEST_FORMAT_VERSION + 1, "generation": 1, "contexts": []}
+        backend.write_bytes(MANIFEST_KEY, json.dumps(payload).encode())
+        with pytest.raises(ContextLoadError):
+            ContextManifest.load(backend)
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(ContextLoadError):
+            ManifestEntry.from_json({"context_id": "x"})  # missing required fields
+
+    def test_remove(self, backend):
+        manifest = ContextManifest()
+        manifest.upsert(_entry("gone"))
+        assert manifest.remove("gone")
+        assert not manifest.remove("gone")
+        assert "gone" not in manifest
