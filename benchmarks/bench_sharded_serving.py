@@ -1,0 +1,181 @@
+"""Sharded serving — per-worker KV residency vs a single unsharded server.
+
+The sharding story (context parallelism over the data-centric attention
+decomposition) promises that a fleet of N workers can serve a long context
+with each worker holding only ~1/N of the KV bytes: the router fans decode
+retrieval out to shard owners and merges the per-shard partial attentions
+exactly via log-sum-exp.  This harness pins the memory claim down:
+
+* **unsharded** — one :class:`InferenceService` ingests the document and
+  serves every prompt; its ``BufferManager.used_bytes`` peak is the whole
+  context (KV + indexes) resident on one box;
+* **sharded (N=4)** — a :class:`ShardedContextRouter` over a 4-worker
+  :class:`WorkerGroup` sharing one storage backend; each worker owns one
+  shard.  The peak ``used_bytes`` of the busiest worker must stay within
+  ~(1/N + slack) of the unsharded peak — the slack covers block-aligned
+  shard boundaries (the last shard absorbs the remainder) and per-shard
+  index overhead.
+
+Both paths must also produce *identical* token streams for every prompt —
+the memory win is only interesting if the answers don't change.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import emit, run_once, smoke_mode, write_bench_json
+from repro.analysis.reporting import format_table
+from repro.core.config import AlayaDBConfig
+from repro.core.service import InferenceService
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.sharding import ShardedContextRouter, WorkerGroup
+
+EXPERIMENT = "Sharded serving (per-worker KV residency vs unsharded)"
+
+SMOKE = smoke_mode()  # BENCH_SMOKE=1: shrink the context for a quick CI run
+NUM_WORKERS = 4
+NUM_SHARDS = 4
+DOC_REPEATS = 10 if SMOKE else 40
+NUM_REQUESTS = 3 if SMOKE else 6
+MAX_NEW_TOKENS = 3 if SMOKE else 5
+# Shard boundaries align down to coarse_block_size, so the last shard can be
+# up to one block wider than n/N; a shard also carries its own fine/coarse
+# index blocks. Short smoke contexts amplify both effects.
+SLACK = 0.18 if SMOKE else 0.10
+
+DOCUMENT = "the quick brown fox jumps over the lazy dog in the library. " * DOC_REPEATS
+SUFFIXES = [
+    "what did the fox do?",
+    "where did it happen?",
+    " and then, unexpectedly,",
+]
+
+BASE_CONFIG = dict(
+    short_context_threshold=128,
+    coarse_block_size=32,
+    coarse_num_blocks=4,
+    window_initial_tokens=8,
+    window_last_tokens=24,
+    prefill_chunk_tokens=64,
+    gpu_memory_budget_bytes=1024,  # forces the DIPR sparse-decode path
+)
+
+
+def _model() -> TransformerModel:
+    return TransformerModel(
+        ModelConfig(dim=32, num_layers=2, num_query_heads=4, num_kv_heads=2, hidden_dim=64, seed=7)
+    )
+
+
+def _prompts() -> list[str]:
+    return [DOCUMENT + SUFFIXES[i % len(SUFFIXES)] for i in range(NUM_REQUESTS)]
+
+
+def _run_unsharded(prompts):
+    model = _model()
+    service = InferenceService(model, AlayaDBConfig(**BASE_CONFIG))
+    service.db.prefill_and_import(model, DOCUMENT, context_id="ctx")
+    peak = service.db.buffer_manager.used_bytes
+    tokens = []
+    start = time.perf_counter()
+    for prompt in prompts:
+        result, _ = service.serve(prompt, max_new_tokens=MAX_NEW_TOKENS)
+        tokens.append(result.generated_tokens)
+        peak = max(peak, service.db.buffer_manager.used_bytes)
+    return service, peak, tokens, time.perf_counter() - start
+
+
+def _run_sharded(prompts):
+    model = _model()
+    group = WorkerGroup(model, config=AlayaDBConfig(**BASE_CONFIG), num_workers=NUM_WORKERS)
+    router = ShardedContextRouter(model, group=group)
+    router.ingest(DOCUMENT, context_id="ctx", num_shards=NUM_SHARDS)
+    peaks = {w.name: w.db.buffer_manager.used_bytes for w in group.workers}
+    tokens = []
+    start = time.perf_counter()
+    for prompt in prompts:
+        result = router.generate("ctx", prompt=prompt, max_new_tokens=MAX_NEW_TOKENS)
+        tokens.append(result.generated_tokens)
+        for worker in group.workers:
+            peaks[worker.name] = max(peaks[worker.name], worker.db.buffer_manager.used_bytes)
+    return router, peaks, tokens, time.perf_counter() - start
+
+
+def _sweep():
+    prompts = _prompts()
+    _, unsharded_peak, unsharded_tokens, unsharded_seconds = _run_unsharded(prompts)
+    router, worker_peaks, sharded_tokens, sharded_seconds = _run_sharded(prompts)
+    return {
+        "unsharded_peak": unsharded_peak,
+        "unsharded_tokens": unsharded_tokens,
+        "unsharded_seconds": unsharded_seconds,
+        "worker_peaks": worker_peaks,
+        "sharded_tokens": sharded_tokens,
+        "sharded_seconds": sharded_seconds,
+        "report": router.memory_report(),
+    }
+
+
+def test_sharded_serving(benchmark):
+    out = run_once(benchmark, _sweep)
+
+    unsharded_peak = out["unsharded_peak"]
+    worker_peaks = out["worker_peaks"]
+    max_worker_peak = max(worker_peaks.values())
+    ratio = max_worker_peak / max(unsharded_peak, 1)
+    bound = 1.0 / NUM_SHARDS + SLACK
+
+    rows = [
+        ["unsharded (1 server)", f"{unsharded_peak}", "1.00", f"{out['unsharded_seconds']:.2f}"],
+        *[
+            [name, f"{peak}", f"{peak / max(unsharded_peak, 1):.2f}", ""]
+            for name, peak in sorted(worker_peaks.items())
+        ],
+        ["busiest worker", f"{max_worker_peak}", f"{ratio:.2f}", f"{out['sharded_seconds']:.2f}"],
+    ]
+    text = "\n".join(
+        [
+            format_table(
+                ["server", "peak used_bytes", "vs unsharded", "serve (s)"],
+                rows,
+                title=f"--- peak BufferManager.used_bytes, {NUM_SHARDS} shards / {NUM_WORKERS} workers ---",
+            ),
+            "",
+            f"busiest worker holds {ratio:.2f}x of the unsharded peak "
+            f"(bound: 1/{NUM_SHARDS} + {SLACK:.2f} slack = {bound:.2f})",
+        ]
+    )
+    emit(EXPERIMENT, text)
+
+    write_bench_json(
+        "sharded_serving",
+        metrics={
+            "unsharded_peak_used_bytes": unsharded_peak,
+            "worker_peak_used_bytes": dict(sorted(worker_peaks.items())),
+            "max_worker_peak_used_bytes": max_worker_peak,
+            "max_worker_to_unsharded_ratio": ratio,
+            "ratio_bound": bound,
+            "unsharded_serve_seconds": out["unsharded_seconds"],
+            "sharded_serve_seconds": out["sharded_seconds"],
+        },
+        config={
+            "num_workers": NUM_WORKERS,
+            "num_shards": NUM_SHARDS,
+            "doc_repeats": DOC_REPEATS,
+            "num_requests": NUM_REQUESTS,
+            "max_new_tokens": MAX_NEW_TOKENS,
+            "slack": SLACK,
+            **BASE_CONFIG,
+        },
+    )
+
+    # the answers are unchanged: every prompt's token stream is identical
+    assert out["sharded_tokens"] == out["unsharded_tokens"]
+    # the memory claim: the busiest worker stays within ~1/N of one big server
+    assert max_worker_peak <= bound * unsharded_peak, (
+        f"busiest worker used {max_worker_peak}B = {ratio:.2f}x of the "
+        f"unsharded peak {unsharded_peak}B (bound {bound:.2f})"
+    )
+    # every worker actually holds its shard resident (the fleet served, not one box)
+    assert all(peak > 0 for peak in worker_peaks.values())

@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..llm.attention import PartialAttention, merge_partial_attention, partial_attention
+from ..llm.attention import (
+    PartialAttention,
+    combine_partial_attention,
+    merge_partial_attention,
+    partial_attention,
+)
 
 __all__ = ["AttentionBreakdown", "DataCentricAttentionEngine"]
 
@@ -146,6 +151,24 @@ class DataCentricAttentionEngine:
         """
         queries = np.asarray(queries, dtype=np.float32)
         num_heads, head_dim = queries.shape
+        partials, breakdowns = self._layer_partials(
+            queries, keys, values, window_positions, retrieved_positions, local_keys, local_values
+        )
+        return self._merge_per_head(partials, num_heads, head_dim), breakdowns
+
+    def _layer_partials(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        window_positions: np.ndarray,
+        retrieved_positions: list[np.ndarray],
+        local_keys: np.ndarray | None = None,
+        local_values: np.ndarray | None = None,
+    ) -> tuple[list[PartialAttention], list[AttentionBreakdown]]:
+        """The window/retrieved/local partials of :meth:`layer_output`, unmerged."""
+        queries = np.asarray(queries, dtype=np.float32)
+        num_heads = queries.shape[0]
         window_positions = np.asarray(window_positions, dtype=np.int64)
         num_kv_heads = keys.shape[0]
         gqa_group_size = num_heads // num_kv_heads
@@ -185,7 +208,51 @@ class DataCentricAttentionEngine:
             )
             for breakdown in breakdowns:
                 breakdown.num_local_tokens = int(local_keys.shape[1])
-        return self._merge_per_head(partials, num_heads, head_dim), breakdowns
+        return partials, breakdowns
+
+    def shard_layer_partial(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        window_positions: np.ndarray,
+        retrieved_positions: list[np.ndarray],
+    ) -> tuple[PartialAttention, list[AttentionBreakdown]]:
+        """One shard's contribution to a sharded decode step, as a single partial.
+
+        Shard-local sibling of :meth:`layer_output`: ``keys``/``values`` are a
+        shard's slice of the stored context and all positions are *shard-local*.
+        The window and retrieved partials are collapsed into one
+        :class:`PartialAttention` that keeps its log-sum-exp statistics, so the
+        router can merge shard partials from every owner (plus the session's
+        local-KV partial) with :meth:`merge_sharded_partials` and obtain exactly
+        the unsharded result.  Heads for which this shard holds nothing come
+        back as the neutral element.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        num_heads, head_dim = queries.shape
+        partials, breakdowns = self._layer_partials(
+            queries, keys, values, window_positions, retrieved_positions
+        )
+        if not partials:
+            return PartialAttention.empty(num_heads, head_dim), breakdowns
+        return combine_partial_attention(partials), breakdowns
+
+    def merge_sharded_partials(
+        self,
+        partials: list[PartialAttention],
+        num_heads: int,
+        head_dim: int,
+    ) -> np.ndarray:
+        """Merge per-shard partial-attention outputs into the layer output.
+
+        The cross-shard merge of the data-centric engine: each entry is one
+        shard's combined partial (from :meth:`shard_layer_partial`) or the
+        session's local-KV partial, computed over disjoint position subsets.
+        Per-head-empty entries (a shard that held no tokens for some head) are
+        tolerated; heads empty in every shard fall back to zeros.
+        """
+        return self._merge_per_head(list(partials), num_heads, head_dim)
 
     def stacked_layer_output(
         self,

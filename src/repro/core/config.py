@@ -180,6 +180,24 @@ class AlayaDBConfig:
     identical retrieval) instead of rebuilding from the keys.  Off keeps only
     snapshots on disk; reloads fall back to index rebuilds."""
 
+    # sharded context serving (context parallelism)
+    num_shards: int = 1
+    """Default shard count for ``DB.shard_context`` / the sharded router: a
+    context's KV blocks and per-layer indexes are range-partitioned into this
+    many token-range shards.  1 keeps the single-owner layout."""
+
+    shard_token_range: int | None = None
+    """Alternative shard sizing: target tokens per shard (the shard count
+    then grows with the context).  Overrides ``num_shards`` when set.  Shard
+    boundaries are aligned down to ``coarse_block_size`` so shard-local
+    coarse blocks coincide with the full-context blocks and the cross-shard
+    block merge stays exact."""
+
+    shard_router_policy: str = "round_robin"
+    """How the sharded router assigns shard ownership to workers:
+    ``"round_robin"`` deals shards out in shard-id order (shard ``i`` goes to
+    worker ``i mod num_workers``)."""
+
     def __post_init__(self) -> None:
         if self.window_initial_tokens < 0 or self.window_last_tokens < 0:
             raise ConfigError("window sizes must be non-negative")
@@ -225,9 +243,23 @@ class AlayaDBConfig:
             )
         if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
             raise ConfigError("context_store_budget_bytes must be positive when set")
-        if self.storage_backend not in ("filesystem", "memory"):
+        from ..storage.backend import available_backends
+
+        if self.storage_backend not in available_backends():
+            names = ", ".join(repr(name) for name in available_backends())
             raise ConfigError(
-                f"storage_backend must be 'filesystem' or 'memory', got {self.storage_backend!r}"
+                f"storage_backend must be one of the registered backends "
+                f"({names}), got {self.storage_backend!r}"
+            )
+        if self.num_shards < 1:
+            raise ConfigError(f"num_shards must be at least 1, got {self.num_shards}")
+        if self.shard_token_range is not None and self.shard_token_range <= 0:
+            raise ConfigError(
+                f"shard_token_range must be positive when set, got {self.shard_token_range}"
+            )
+        if self.shard_router_policy not in ("round_robin",):
+            raise ConfigError(
+                f"shard_router_policy must be 'round_robin', got {self.shard_router_policy!r}"
             )
 
     @property

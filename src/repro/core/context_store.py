@@ -61,6 +61,11 @@ class StoredContext:
     wants_coarse_indexes: bool = True
     """Index policy chosen at import/store time; honoured when indexes are
     rebuilt after a spill/reload cycle."""
+    prefix_matchable: bool = True
+    """Whether the context's tokens enter the prefix-matching trie.  A shard
+    of a larger context holds a mid-document token slice that must never be
+    offered as a reusable prompt prefix, so shards set this False; they are
+    addressed by id (via a shard catalog), not by prompt match."""
 
     def __post_init__(self) -> None:
         self._tokens: list[int] = self.snapshot.tokens if self.snapshot is not None else []
@@ -81,6 +86,7 @@ class StoredContext:
             snapshot=None,
             wants_fine_indexes=entry.wants_fine_indexes,
             wants_coarse_indexes=entry.wants_coarse_indexes,
+            prefix_matchable=entry.prefix_matchable,
         )
         context._tokens = list(entry.tokens)
         context._spilled_kv_bytes = entry.kv_bytes
@@ -277,12 +283,43 @@ class ContextStore:
 
     def _recover_from_manifest(self) -> None:
         for entry in self._manifest.entries.values():
-            context = StoredContext.from_manifest_entry(entry)
-            self._contexts[context.context_id] = context
+            self._adopt_manifest_entry(entry)
+
+    def _adopt_manifest_entry(self, entry: ManifestEntry) -> StoredContext:
+        context = StoredContext.from_manifest_entry(entry)
+        self._contexts[context.context_id] = context
+        if context.prefix_matchable:
             self._trie_insert(context.tokens, context.context_id)
-            self._persisted.add(context.context_id)
-            if entry.index_key is not None:
-                self._indexed_on_disk.add(context.context_id)
+        self._persisted.add(context.context_id)
+        if entry.index_key is not None:
+            self._indexed_on_disk.add(context.context_id)
+        return context
+
+    def refresh_from_manifest(self) -> list[str]:
+        """Adopt contexts another writer added to the shared manifest.
+
+        A worker that opened its store *before* a router ingested new
+        contexts (or shards) calls this to pick them up without reopening:
+        the shared manifest is re-read and any context id this handle has
+        never seen is adopted cold (loaded on first use).  Known ids are left
+        untouched — local residency, pins and in-flight state stay valid —
+        and local entries missing from the loaded manifest are kept (the
+        entry content of concurrent writers is last-writer-wins; dropping
+        them here would orphan live local contexts).  Returns the newly
+        adopted context ids.
+        """
+        if not self.durable:
+            raise ValueError("refresh_from_manifest requires a durable ContextStore")
+        loaded = ContextManifest.load_or_empty(self.backend)
+        self._manifest.generation = max(self._manifest.generation, loaded.generation)
+        adopted = []
+        for context_id, entry in loaded.entries.items():
+            if context_id in self._contexts:
+                continue
+            self._manifest.upsert(entry)
+            self._adopt_manifest_entry(entry)
+            adopted.append(context_id)
+        return adopted
 
     # ------------------------------------------------------------------
     # backend keys
@@ -328,7 +365,8 @@ class ContextStore:
             if preserved_pins:
                 self._pins[context_id] = preserved_pins
         self._contexts[context_id] = context
-        self._trie_insert(context.tokens, context_id)
+        if context.prefix_matchable:
+            self._trie_insert(context.tokens, context_id)
         if context.is_resident:
             self._lru[context_id] = None
             self._resident_bytes += context.kv_bytes
@@ -366,6 +404,14 @@ class ContextStore:
 
     def list_ids(self) -> list[str]:
         return sorted(self._contexts)
+
+    def items(self) -> list[tuple[str, StoredContext]]:
+        """Snapshot of ``(context_id, context)`` pairs, LRU order untouched.
+
+        Reporting paths (``memory_report``) iterate the population without
+        promoting every context in the LRU the way :meth:`get` would.
+        """
+        return sorted(self._contexts.items())
 
     @property
     def total_kv_bytes(self) -> int:
@@ -591,7 +637,8 @@ class ContextStore:
     def _forget(self, context: StoredContext) -> None:
         """Drop all bookkeeping for a context being removed or overwritten."""
         context_id = context.context_id
-        self._trie_remove(context.tokens, context_id)
+        if context.prefix_matchable:
+            self._trie_remove(context.tokens, context_id)
         if context.is_resident:
             self._resident_bytes -= context.kv_bytes
         self._lru.pop(context_id, None)
@@ -656,6 +703,7 @@ class ContextStore:
             index_bytes=self.backend.size_bytes(index_key) if index_key else 0,
             wants_fine_indexes=context.wants_fine_indexes,
             wants_coarse_indexes=context.wants_coarse_indexes,
+            prefix_matchable=context.prefix_matchable,
             metadata=dict(context.snapshot.metadata) if context.snapshot is not None else {},
         )
 
@@ -700,7 +748,12 @@ class ContextStore:
         if self.backend is None:
             raise ValueError("this ContextStore was created without a storage_dir")
         snapshot = self._load_snapshot(context_id)
-        context = StoredContext(context_id=context_id, snapshot=snapshot)
+        entry = self._manifest.get(context_id)
+        context = StoredContext(
+            context_id=context_id,
+            snapshot=snapshot,
+            prefix_matchable=entry.prefix_matchable if entry is not None else True,
+        )
         if self.backend.exists(self._index_key(context_id)):
             self._indexed_on_disk.add(context_id)
             self._attach_persisted_indexes(context)

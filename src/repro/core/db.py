@@ -43,6 +43,7 @@ from ..storage.backend import FilesystemBackend, StorageBackend, make_backend
 from ..storage.blocks import BlockType, ResidencyBlock
 from ..storage.buffer_manager import BufferManager, BufferStats
 from ..storage.manifest import ManifestEntry
+from ..sharding.plan import ShardPlan, shard_context_id, slice_snapshot
 from .config import AlayaDBConfig
 from .context_store import ContextStore, StoredContext
 from .session import Session
@@ -432,6 +433,70 @@ class DB:
             build_coarse_indexes=build_coarse_indexes,
             lazy_fine_indexes=lazy_fine_indexes,
         )
+
+    # ------------------------------------------------------------------
+    # sharding: range-partition a context into per-shard stored contexts
+    # ------------------------------------------------------------------
+    def shard_context(
+        self,
+        context_id: str,
+        num_shards: int | None = None,
+        shard_token_range: int | None = None,
+        plan: ShardPlan | None = None,
+    ) -> tuple[ShardPlan, list[StoredContext]]:
+        """Range-partition a stored context into per-shard stored contexts.
+
+        Each shard is a full citizen of the store under its own id
+        (``<context_id>--shardNNN``): a KV snapshot holding only its token
+        range, plus fine/coarse indexes **built over that range alone** (the
+        original context's index policy is inherited, builds are eager —
+        shards exist to be fanned out to, not lazily warmed).  Shards are not
+        prefix-matchable: they hold mid-document slices and are addressed by
+        id through a shard catalog, never matched against prompts.  In a
+        durable store every shard persists under its own keys plus a manifest
+        row, so any worker over the shared backend can cold-load it.
+
+        Sizing: an explicit ``plan`` wins; else ``num_shards`` /
+        ``shard_token_range`` (argument, falling back to the config knobs).
+        Boundaries are aligned down to ``coarse_block_size`` whenever coarse
+        indexes are built, keeping shard-local blocks identical to the
+        full-context blocks so the router's cross-shard block merge is exact.
+        """
+        context = self.touch_context(context_id)
+        build_fine = context.wants_fine_indexes
+        build_coarse = context.wants_coarse_indexes
+        if plan is None:
+            align = self.config.coarse_block_size if build_coarse else 1
+            token_range = (
+                shard_token_range if shard_token_range is not None else self.config.shard_token_range
+            )
+            if num_shards is not None:
+                plan = ShardPlan.even(context.num_tokens, num_shards, align=align)
+            elif token_range is not None:
+                plan = ShardPlan.by_token_range(context.num_tokens, token_range, align=align)
+            else:
+                plan = ShardPlan.even(context.num_tokens, self.config.num_shards, align=align)
+        elif plan.num_tokens != context.num_tokens:
+            raise ContextLoadError(
+                f"shard plan covers {plan.num_tokens} tokens but context "
+                f"{context_id!r} has {context.num_tokens}"
+            )
+        shards: list[StoredContext] = []
+        for rng in plan.ranges:
+            shard = StoredContext(
+                context_id=shard_context_id(context_id, rng.shard_id),
+                snapshot=slice_snapshot(context.snapshot, rng, plan),
+                prefix_matchable=False,
+            )
+            self._register_context(
+                shard,
+                build_fine_indexes=build_fine,
+                build_coarse_indexes=build_coarse,
+                lazy_fine_indexes=False,
+                overwrite=True,
+            )
+            shards.append(shard)
+        return plan, shards
 
     # ------------------------------------------------------------------
     # index construction

@@ -96,6 +96,18 @@ class LayerIndexData:
     shared: bool = True
     gqa_group_size: int = 1
 
+    position_offset: int = 0
+    """Global position of this data's first token.  A shard of a context
+    carries its token-range start here so every retrieval outcome reports
+    positions in the *global* token space of the full context; predicates,
+    window seeds and the index structures themselves stay shard-local."""
+
+    def to_global(self, positions: np.ndarray) -> np.ndarray:
+        """Map local retrieval positions into global token space."""
+        if self.position_offset == 0:
+            return positions
+        return positions + np.int64(self.position_offset)
+
     def fine_index_for_query_head(self, query_head: int) -> RoarGraphIndex:
         if not self.fine_indexes:
             raise PlanningError("fine-grained indexes are not available for this layer")
@@ -279,7 +291,7 @@ class PlanExecutor:
                 # hops to the group's first head so per-head outcomes sum to
                 # the group's real (deduplicated) work
                 outcomes[head] = RetrievalOutcome(
-                    result.indices,
+                    data.to_global(result.indices),
                     result.scores,
                     stats.num_distance_computations if slot == 0 else 0,
                     len(result),
@@ -324,7 +336,10 @@ class PlanExecutor:
                 raise UnsupportedQueryError(f"flat index cannot process {plan.query!r}")
             for head, result in zip(heads, results):
                 outcomes[head] = RetrievalOutcome(
-                    result.indices, result.scores, result.num_distance_computations, len(result)
+                    data.to_global(result.indices),
+                    result.scores,
+                    result.num_distance_computations,
+                    len(result),
                 )
         return outcomes
 
@@ -365,7 +380,7 @@ class PlanExecutor:
                 ]
             for slot, (head, positions) in enumerate(zip(heads, per_head_positions)):
                 outcomes[head] = RetrievalOutcome(
-                    positions, group_scores[slot], distance_computations, len(positions)
+                    data.to_global(positions), group_scores[slot], distance_computations, len(positions)
                 )
         return outcomes
 
@@ -390,7 +405,9 @@ class PlanExecutor:
             result = index.search_topk(query, plan.query.k, allowed=allowed)
         else:
             raise UnsupportedQueryError(f"flat index cannot process {plan.query!r}")
-        return RetrievalOutcome(result.indices, result.scores, result.num_distance_computations, len(result))
+        return RetrievalOutcome(
+            data.to_global(result.indices), result.scores, result.num_distance_computations, len(result)
+        )
 
     def _retrieve_fine(
         self,
@@ -428,7 +445,7 @@ class PlanExecutor:
                     max_tokens=plan.query.max_tokens,
                 )
             return RetrievalOutcome(
-                result.indices,
+                data.to_global(result.indices),
                 result.scores,
                 stats.num_distance_computations,
                 len(result),
@@ -445,7 +462,9 @@ class PlanExecutor:
                 ef=plan.query.ef,
                 allowed=allowed,
             )
-            return RetrievalOutcome(result.indices, result.scores, result.num_distance_computations, len(result))
+            return RetrievalOutcome(
+                data.to_global(result.indices), result.scores, result.num_distance_computations, len(result)
+            )
         raise UnsupportedQueryError(f"fine index cannot process {plan.query!r}")
 
     def _retrieve_coarse(
@@ -465,5 +484,7 @@ class PlanExecutor:
                 positions = positions[positions < plan.predicate.max_position]
             scores = index.vectors[positions] @ np.asarray(query, dtype=np.float32)
             distance_computations = index.num_blocks * index.num_representatives
-            return RetrievalOutcome(positions, scores.astype(np.float32), distance_computations, len(positions))
+            return RetrievalOutcome(
+                data.to_global(positions), scores.astype(np.float32), distance_computations, len(positions)
+            )
         raise UnsupportedQueryError(f"coarse index cannot process {plan.query!r}")

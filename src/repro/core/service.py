@@ -652,11 +652,17 @@ class InferenceService:
         report = self.slo_report()
         self.config.slo.require_tpot(report.tpot_mean, context="(service aggregate)")
 
-    def memory_report(self) -> dict[str, int | float]:
-        """Residency and buffer-pool accounting across the serving stack."""
+    def memory_report(self, per_context: bool = False) -> dict:
+        """Residency and buffer-pool accounting across the serving stack.
+
+        With ``per_context=True`` a ``"contexts"`` map is added: one row per
+        stored context (residency, KV footprint, pins, trie matchability) —
+        what a shard-serving harness aggregates into per-worker/per-shard
+        placement views.
+        """
         store = self.db.store_registry
         buffer = self.db.buffer_stats
-        return {
+        report = {
             "resident_kv_bytes": store.resident_kv_bytes,
             "total_kv_bytes": store.total_kv_bytes,
             "spilled_kv_bytes": store.spilled_kv_bytes,
@@ -677,3 +683,14 @@ class InferenceService:
             "decode_dense_seconds": self.decode_timings.dense_seconds,
             "decode_rounds": self.decode_timings.rounds,
         }
+        if per_context:
+            report["contexts"] = {
+                context_id: {
+                    "resident": context.is_resident,
+                    "kv_bytes": context.kv_bytes,
+                    "pin_count": store.pin_count(context_id),
+                    "prefix_matchable": context.prefix_matchable,
+                }
+                for context_id, context in store.items()
+            }
+        return report

@@ -150,8 +150,16 @@ class CoarseBlockIndex(VectorIndex):
         top = self._top_block_ids_batch(queries, num_blocks)
         return [[self._blocks[int(b)] for b in row] for row in top]
 
-    def _top_block_ids_batch(self, queries: np.ndarray, num_blocks: int) -> np.ndarray:
-        """Block ids of the top blocks per query, ``(g, num_blocks)``, batched."""
+    def block_scores_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Per-block relevance scores for a query batch, ``(g, num_blocks)``.
+
+        One representative matmul scores every block for every query.  A shard
+        router merges these across shard-local indexes: because blocks are cut
+        from offset 0 in ``block_size`` steps, a shard whose token range starts
+        on a block boundary produces exactly the blocks the full-context index
+        would, so concatenating per-shard score rows reconstructs the global
+        block-score vector and the global top-k block selection is exact.
+        """
         vectors = self._require_built()
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != vectors.shape[1]:
@@ -159,9 +167,31 @@ class CoarseBlockIndex(VectorIndex):
                 f"expected queries of shape (g, {vectors.shape[1]}), got {queries.shape}"
             )
         scores = queries @ self._representative_matrix.T
-        block_scores = np.maximum.reduceat(scores, self._representative_offsets, axis=1)
-        num_blocks = min(num_blocks, self.num_blocks)
-        if num_blocks >= self.num_blocks:
+        return np.maximum.reduceat(scores, self._representative_offsets, axis=1)
+
+    @property
+    def block_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, stops)`` token bounds of every block, ``(num_blocks,)`` each."""
+        self._require_built()
+        return self._block_starts, self._block_stops
+
+    def _top_block_ids_batch(self, queries: np.ndarray, num_blocks: int) -> np.ndarray:
+        """Block ids of the top blocks per query, ``(g, num_blocks)``, batched."""
+        return self.top_blocks_from_scores(self.block_scores_batch(queries), num_blocks)
+
+    @staticmethod
+    def top_blocks_from_scores(block_scores: np.ndarray, num_blocks: int) -> np.ndarray:
+        """Top-block selection over precomputed scores, ``(g, num_blocks)``.
+
+        The selection algorithm (argpartition + ordering, tie-breaking
+        included) in one reusable place: the per-index search paths run it on
+        their own scores, and a shard router runs it on block-score rows
+        *concatenated* across shard-local indexes so the cross-shard selection
+        is exactly the selection a full-context index would make.
+        """
+        total_blocks = block_scores.shape[1]
+        num_blocks = min(num_blocks, total_blocks)
+        if num_blocks >= total_blocks:
             top = np.argsort(-block_scores, axis=1)
         else:
             top = np.argpartition(-block_scores, num_blocks - 1, axis=1)[:, :num_blocks]

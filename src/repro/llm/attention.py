@@ -33,6 +33,7 @@ __all__ = [
     "PartialAttention",
     "partial_attention",
     "merge_partial_attention",
+    "combine_partial_attention",
     "repeat_kv",
 ]
 
@@ -220,3 +221,45 @@ def merge_partial_attention(parts: list[PartialAttention]) -> np.ndarray:
         accumulated += part.output * weight[:, None]
         total_weight += weight
     return (accumulated / total_weight[:, None]).astype(np.float32)
+
+
+def combine_partial_attention(parts: list[PartialAttention]) -> PartialAttention:
+    """Merge partials into one :class:`PartialAttention`, keeping the statistics.
+
+    The statistics-preserving sibling of :func:`merge_partial_attention`: the
+    result carries the (``max_logit``, ``sum_exp``) of the union subset, so a
+    shard can collapse its window/retrieved partials into a single partial and
+    ship only that across the (simulated) wire — the receiver merges shard
+    partials with other shards' exactly, as if one softmax had run over all
+    subsets.  Heads that are empty in every input stay the neutral element
+    (``max_logit=-inf``, ``sum_exp=0``), so per-head-empty inputs are safe.
+    """
+    if not parts:
+        raise ValueError("cannot combine an empty list of partial attentions")
+    if len(parts) == 1:
+        part = parts[0]
+        return PartialAttention(
+            output=part.output.copy(),
+            max_logit=part.max_logit.copy(),
+            sum_exp=part.sum_exp.copy(),
+        )
+    global_max = np.max(np.stack([p.max_logit for p in parts], axis=0), axis=0)
+    safe_max = np.where(np.isneginf(global_max), np.float32(0.0), global_max)
+    total_weight = np.zeros_like(parts[0].sum_exp)
+    accumulated = np.zeros_like(parts[0].output)
+    for part in parts:
+        # exp(-inf - finite) underflows to 0, so all-empty inputs contribute
+        # nothing; np.where keeps -inf inputs from producing exp(-inf - -inf)
+        weight = np.where(
+            np.isneginf(part.max_logit),
+            np.float32(0.0),
+            part.sum_exp * np.exp(part.max_logit - safe_max),
+        )
+        accumulated += part.output * weight[:, None]
+        total_weight += weight
+    denom = np.where(total_weight == 0.0, np.float32(1.0), total_weight)
+    return PartialAttention(
+        output=(accumulated / denom[:, None]).astype(np.float32),
+        max_logit=global_max.astype(np.float32),
+        sum_exp=total_weight.astype(np.float32),
+    )

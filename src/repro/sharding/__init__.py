@@ -1,0 +1,43 @@
+"""Sharded context serving: range-partitioned KV + indexes with fan-out.
+
+The plan layer (:mod:`repro.sharding.plan`) is dependency-light and imported
+eagerly — ``core.db`` uses it to cut contexts into shards.  The router layer
+(:mod:`repro.sharding.router`, :mod:`repro.sharding.session`) imports
+``core.service`` (which imports ``core.db``), so exporting it eagerly here
+would close an import cycle; those symbols resolve lazily on first access.
+"""
+
+from __future__ import annotations
+
+from .plan import ShardPlan, ShardRange, parse_shard_id, shard_context_id, slice_snapshot
+
+__all__ = [
+    "ShardPlan",
+    "ShardRange",
+    "shard_context_id",
+    "parse_shard_id",
+    "slice_snapshot",
+    "ShardedContextRef",
+    "ShardedSession",
+    "ShardWorker",
+    "WorkerGroup",
+    "ShardedContextRouter",
+]
+
+_LAZY = {
+    "ShardedContextRef": "session",
+    "ShardedSession": "session",
+    "ShardWorker": "router",
+    "WorkerGroup": "router",
+    "ShardedContextRouter": "router",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

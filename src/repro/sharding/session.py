@@ -1,0 +1,137 @@
+"""A session connected to a *sharded* context instead of a single stored one.
+
+:class:`ShardedSession` plays the role :class:`~repro.core.session.Session`
+plays for a single-owner context, but the KV cache and indexes it reuses are
+range-partitioned across shard owners.  The session keeps everything that is
+request-local — the window bookkeeping, the local (late-materialized) KV, the
+optimizer plans, decode statistics — and delegates everything that touches
+the stored prefix to a *fan-out* object (the
+:class:`~repro.sharding.router.ShardedContextRouter`), which fans retrieval
+and partial attention out to the shard owners and merges their
+:class:`~repro.llm.attention.PartialAttention` results by log-sum-exp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.session import Session
+from ..query.types import IndexKind
+from .plan import ShardPlan, shard_context_id
+
+__all__ = ["ShardedContextRef", "ShardedSession"]
+
+
+@dataclass(frozen=True)
+class ShardedContextRef:
+    """Catalog entry for one sharded context.
+
+    Holds what the router and its sessions need *without* touching any KV
+    data: the shard plan, the token sequence (for prefix matching against
+    incoming prompts), and which layers carry which index kinds (so plan
+    routing works exactly like :meth:`Session._use_sparse_path` does against
+    a resident :class:`~repro.core.context_store.StoredContext`).
+    """
+
+    context_id: str
+    plan: ShardPlan
+    tokens: tuple[int, ...]
+    num_layers: int
+    layers: frozenset[int]
+    fine_layers: frozenset[int]
+    coarse_layers: frozenset[int]
+
+    @property
+    def num_tokens(self) -> int:
+        return self.plan.num_tokens
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def shard_id_of(self, shard_id: int) -> str:
+        """The storage/catalog id of shard ``shard_id``."""
+        return shard_context_id(self.context_id, shard_id)
+
+
+class ShardedSession(Session):
+    """A running request whose reused prefix lives on N shard owners.
+
+    The dense path (multi-token prefill of the non-reused suffix) and the
+    sparse decode path both route through ``fanout`` — an object providing
+
+    * ``sparse_attention(session, queries, layer) -> (outputs, stats)`` for a
+      single-token decode (``queries`` is ``(num_query_heads, head_dim)``),
+    * ``dense_attention(session, q, layer) -> outputs`` for exact causal
+      attention over the sharded prefix plus the session's local KV
+      (``q`` is ``(num_query_heads, seq, head_dim)``).
+
+    Everything else — window positions, local KV, plan selection, stats — is
+    inherited from :class:`Session` unchanged, so the optimizer's routing
+    rules apply identically to sharded and single-owner serving.
+    """
+
+    def __init__(
+        self,
+        ref: ShardedContextRef,
+        fanout,
+        config=None,
+        reused_prefix_length: int | None = None,
+        gpu_memory_budget_bytes: int | None = None,
+        on_close=None,
+    ):
+        super().__init__(
+            config=config,
+            context=None,
+            num_layers=ref.num_layers,
+            gpu_memory_budget_bytes=gpu_memory_budget_bytes,
+            on_close=on_close,
+        )
+        self.sharded_ref = ref
+        self._fanout = fanout
+        # Session.__init__ zeroes the reused prefix when no StoredContext is
+        # attached; the sharded prefix is reused through the fan-out instead
+        self.reused_prefix_length = (
+            ref.num_tokens if reused_prefix_length is None else int(reused_prefix_length)
+        )
+
+    # ------------------------------------------------------------------
+    # connection state (no StoredContext is attached locally)
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        return self.sharded_ref is not None and self.reused_prefix_length > 0
+
+    def _use_sparse_path(self, layer: int) -> bool:
+        if self.decode_mode_override == "dense":
+            return False
+        if not self.is_connected:
+            return False
+        ref = self.sharded_ref
+        if layer not in ref.layers:
+            return False
+        plan = self._plans_for_context().get(layer)
+        if plan is None or plan.is_full_attention:
+            return False
+        # shard indexes are built eagerly at shard time, so availability is a
+        # property of the ref, not of any one worker's residency state
+        if plan.index_kind == IndexKind.FINE and layer not in ref.fine_layers:
+            return False
+        if plan.index_kind == IndexKind.COARSE and layer not in ref.coarse_layers:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # attention paths (both fan out to the shard owners)
+    # ------------------------------------------------------------------
+    def _full_attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        if self.is_connected and layer in self.sharded_ref.layers:
+            return self._fanout.dense_attention(self, q, layer)
+        return super()._full_attention(q, layer)
+
+    def _sparse_attention(self, q: np.ndarray, layer: int) -> np.ndarray:
+        outputs, stats = self._fanout.sparse_attention(self, q[:, 0, :], layer)
+        self.record_decode_stats(stats, layer)
+        return outputs[:, None, :]

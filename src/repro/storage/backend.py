@@ -26,7 +26,15 @@ from pathlib import Path
 
 from ..errors import ContextLoadError, StorageError
 
-__all__ = ["StorageBackend", "FilesystemBackend", "InMemoryBackend", "make_backend"]
+__all__ = [
+    "StorageBackend",
+    "FilesystemBackend",
+    "InMemoryBackend",
+    "make_backend",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+]
 
 
 class StorageBackend(abc.ABC):
@@ -56,7 +64,15 @@ class StorageBackend(abc.ABC):
 
     @abc.abstractmethod
     def list_keys(self, prefix: str = "") -> list[str]:
-        """All stored keys starting with ``prefix``, sorted."""
+        """All stored keys starting with ``prefix``, sorted.
+
+        ``prefix`` is a plain *string* prefix of the key, **not** a directory:
+        ``list_keys("ctx-1")`` matches ``"ctx-1.npz"`` and
+        ``"ctx-1/part.npz"`` alike, and ``list_keys("a/")`` matches exactly
+        the keys under the ``a/`` key namespace.  Every backend must follow
+        this contract so byte accounting (:meth:`total_bytes`) and per-context
+        key enumeration behave identically across backends.
+        """
 
     @abc.abstractmethod
     def size_bytes(self, key: str) -> int:
@@ -68,7 +84,10 @@ class StorageBackend(abc.ABC):
         return None
 
     def total_bytes(self, prefix: str = "") -> int:
-        """Combined size of every blob under ``prefix``."""
+        """Combined size of every blob whose key starts with ``prefix``.
+
+        Follows the same key-string prefix semantics as :meth:`list_keys`.
+        """
         return sum(self.size_bytes(key) for key in self.list_keys(prefix))
 
 
@@ -131,7 +150,12 @@ class FilesystemBackend(StorageBackend):
     def list_keys(self, prefix: str = "") -> list[str]:
         keys = []
         for path in self.root.rglob("*"):
-            if not path.is_file() or path.suffix == ".tmp":
+            if not path.is_file():
+                continue
+            # skip only our own in-flight atomic-write temps (".<name>.*.tmp"
+            # from write_bytes) — a legitimate key that merely *ends* in
+            # ".tmp" must stay visible
+            if path.name.startswith(".") and path.name.endswith(".tmp"):
                 continue
             key = path.relative_to(self.root).as_posix()
             if key.startswith(prefix):
@@ -181,13 +205,66 @@ class InMemoryBackend(StorageBackend):
         return len(blob) if blob is not None else 0
 
 
+def _make_filesystem_backend(path: str | Path | None) -> StorageBackend:
+    if path is None:
+        raise StorageError("the filesystem backend requires a directory path")
+    return FilesystemBackend(path)
+
+
+#: named backend factories; a factory takes the (optional) location path and
+#: returns a ready backend.  Extensible so a remote/object-store backend can
+#: plug in without touching core (`register_backend`).
+_BACKEND_FACTORIES: dict[str, "object"] = {
+    "filesystem": _make_filesystem_backend,
+    "memory": lambda path=None: InMemoryBackend(),
+}
+
+
+def register_backend(kind: str, factory, *, overwrite: bool = False) -> None:
+    """Register a named backend factory for :func:`make_backend`.
+
+    ``factory`` is called as ``factory(path)`` where ``path`` may be ``None``.
+    Re-registering an existing name raises unless ``overwrite=True`` — the
+    built-in names stay protected against accidental shadowing.
+    """
+    if not kind:
+        raise StorageError("backend kind must be a non-empty string")
+    if kind in _BACKEND_FACTORIES and not overwrite:
+        raise StorageError(
+            f"storage backend {kind!r} is already registered (pass overwrite=True to replace it)"
+        )
+    _BACKEND_FACTORIES[kind] = factory
+
+
+def unregister_backend(kind: str) -> bool:
+    """Remove a registered factory (tests clean up after themselves).
+
+    The built-in ``"filesystem"``/``"memory"`` factories cannot be removed.
+    """
+    if kind in ("filesystem", "memory"):
+        raise StorageError(f"the built-in backend {kind!r} cannot be unregistered")
+    return _BACKEND_FACTORIES.pop(kind, None) is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The currently registered backend names, sorted."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
 def make_backend(kind: str, path: str | Path | None = None) -> StorageBackend:
-    """Construct a backend by name: ``"filesystem"`` (requires ``path``) or
-    ``"memory"``."""
-    if kind == "filesystem":
-        if path is None:
-            raise StorageError("the filesystem backend requires a directory path")
-        return FilesystemBackend(path)
-    if kind == "memory":
-        return InMemoryBackend()
-    raise StorageError(f"unknown storage backend {kind!r} (expected 'filesystem' or 'memory')")
+    """Construct a backend by registered name.
+
+    ``"filesystem"`` (requires ``path``) and ``"memory"`` are built in;
+    additional kinds come from :func:`register_backend`.
+    """
+    factory = _BACKEND_FACTORIES.get(kind)
+    if factory is None:
+        names = ", ".join(repr(name) for name in available_backends())
+        raise StorageError(f"unknown storage backend {kind!r} (registered: {names})")
+    backend = factory(path)
+    if not isinstance(backend, StorageBackend):
+        raise StorageError(
+            f"backend factory for {kind!r} returned {type(backend).__name__}, "
+            "expected a StorageBackend"
+        )
+    return backend

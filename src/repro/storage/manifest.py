@@ -43,6 +43,11 @@ class ManifestEntry:
     index_bytes: int = 0
     wants_fine_indexes: bool = True
     wants_coarse_indexes: bool = True
+    prefix_matchable: bool = True
+    """Whether the context participates in token-trie prefix matching.  A
+    *shard* of a context stores an arbitrary mid-document token slice, which
+    must never be offered as a reusable prompt prefix; shards set this
+    False."""
     metadata: dict[str, str] = field(default_factory=dict)
 
     @property
@@ -60,6 +65,7 @@ class ManifestEntry:
             "index_bytes": self.index_bytes,
             "wants_fine_indexes": self.wants_fine_indexes,
             "wants_coarse_indexes": self.wants_coarse_indexes,
+            "prefix_matchable": self.prefix_matchable,
             "metadata": self.metadata,
         }
 
@@ -76,6 +82,7 @@ class ManifestEntry:
                 index_bytes=int(payload.get("index_bytes", 0)),
                 wants_fine_indexes=bool(payload.get("wants_fine_indexes", True)),
                 wants_coarse_indexes=bool(payload.get("wants_coarse_indexes", True)),
+                prefix_matchable=bool(payload.get("prefix_matchable", True)),
                 metadata=dict(payload.get("metadata", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -108,7 +115,15 @@ class ContextManifest:
     # persistence
     # ------------------------------------------------------------------
     def save(self, backend: StorageBackend, key: str = MANIFEST_KEY) -> int:
-        """Atomically write the manifest, bumping its generation stamp."""
+        """Atomically write the manifest, bumping its generation stamp.
+
+        The bump continues from the *persisted* generation when that is ahead
+        of this handle's: with two store handles interleaving writes over one
+        shared backend, every save still produces a strictly larger stamp than
+        whatever a reader last observed, so generations stay monotonic even
+        though entry content is last-writer-wins.
+        """
+        self.generation = max(self.generation, self.persisted_generation(backend, key))
         self.generation += 1
         payload = {
             "format_version": MANIFEST_FORMAT_VERSION,
@@ -117,6 +132,22 @@ class ContextManifest:
         }
         backend.write_bytes(key, json.dumps(payload, indent=1).encode("utf-8"))
         return self.generation
+
+    @staticmethod
+    def persisted_generation(backend: StorageBackend, key: str = MANIFEST_KEY) -> int:
+        """The generation stamp currently stored on ``backend`` (0 if none).
+
+        Corruption is treated as "no usable stamp" — :meth:`load` is where
+        corruption surfaces as an error; here it must not block a save that
+        would overwrite the corrupt blob with a good one.
+        """
+        if not backend.exists(key):
+            return 0
+        try:
+            payload = json.loads(backend.read_bytes(key).decode("utf-8"))
+            return int(payload.get("generation", 0))
+        except (UnicodeDecodeError, json.JSONDecodeError, TypeError, ValueError, ContextLoadError):
+            return 0
 
     @classmethod
     def load(cls, backend: StorageBackend, key: str = MANIFEST_KEY) -> "ContextManifest":

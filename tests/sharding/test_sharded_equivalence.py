@@ -1,0 +1,155 @@
+"""Sharded-vs-unsharded equivalence grid.
+
+Shards × plan kinds × GQA ratios, asserting two things:
+
+* *decode outputs allclose* — the merged per-layer logits trajectory of a
+  :class:`ShardedSession` matches an unsharded :class:`Session` over the
+  same stored context, token for token;
+* *generated tokens identical end-to-end* — a full request through the
+  router/worker harness produces exactly the token stream the single-owner
+  :class:`InferenceService` produces.
+
+The flat and coarse cross-shard merges are exact by construction (global-best
+re-filter and block-score concatenation respectively); the fine (DIPRS) merge
+unions per-shard graph walks, which is bit-identical at one shard and
+converges to the same retained set on these contexts at 2/4 shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlayaDBConfig
+from repro.core.db import DB
+from repro.core.service import InferenceService
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.sharding import ShardedContextRouter
+from repro.sharding.session import ShardedSession
+
+pytestmark = pytest.mark.sharded
+
+DOC = "the quick brown fox jumps over the lazy dog. " * 6
+PROMPT = DOC + "what did the fox do?"
+DECODE_FEED = [5, 17, 42, 7, 101]
+
+NUM_SHARDS = [1, 2, 4]
+PLAN_KINDS = ["flat", "coarse", "fine"]
+GQA_SHAPES = [(4, 2), (8, 2)]
+
+
+def make_config(plan_kind: str) -> AlayaDBConfig:
+    """A config that forces the optimizer onto one index kind for every layer.
+
+    The rule order is: short context → full; fits GPU budget → coarse top-k;
+    otherwise DIPR (flat on ``flat_index_layers``, fine elsewhere).
+    """
+    kwargs = dict(
+        short_context_threshold=128,
+        coarse_block_size=32,
+        coarse_num_blocks=4,
+        window_initial_tokens=8,
+        window_last_tokens=24,
+        prefill_chunk_tokens=64,
+    )
+    if plan_kind == "flat":
+        kwargs.update(gpu_memory_budget_bytes=1024, flat_index_layers=(0, 1))
+    elif plan_kind == "fine":
+        kwargs.update(gpu_memory_budget_bytes=1024, flat_index_layers=())
+    # "coarse": the default 16 GiB budget keeps the coarse rule winning
+    return AlayaDBConfig(**kwargs)
+
+
+def make_model(heads: tuple[int, int]) -> TransformerModel:
+    num_query_heads, num_kv_heads = heads
+    return TransformerModel(
+        ModelConfig(
+            dim=32,
+            num_layers=2,
+            num_query_heads=num_query_heads,
+            num_kv_heads=num_kv_heads,
+            hidden_dim=64,
+            seed=7,
+        )
+    )
+
+
+def logits_trajectory(model, session, prefill_tokens, decode_feed):
+    """Prefill the suffix, then decode a fixed token feed, stacking logits."""
+    rows = []
+    logits, _ = model.prefill(np.asarray(prefill_tokens, dtype=np.int64), session)
+    rows.append(np.asarray(logits))
+    for token in decode_feed:
+        rows.append(np.asarray(model.decode_step(token, session)))
+    return np.stack(rows)
+
+
+@pytest.mark.parametrize("heads", GQA_SHAPES, ids=["gqa2", "gqa4"])
+@pytest.mark.parametrize("plan_kind", PLAN_KINDS)
+@pytest.mark.parametrize("num_shards", NUM_SHARDS)
+def test_generated_tokens_identical_end_to_end(num_shards, plan_kind, heads):
+    model = make_model(heads)
+    service = InferenceService(model, make_config(plan_kind))
+    service.db.prefill_and_import(model, DOC, context_id="ctx")
+    expected, _ = service.serve(PROMPT, max_new_tokens=8)
+
+    sharded_model = make_model(heads)
+    router = ShardedContextRouter(sharded_model, num_workers=2, config=make_config(plan_kind))
+    ref = router.ingest(DOC, context_id="ctx", num_shards=num_shards)
+    assert ref.num_shards == num_shards
+    result = router.generate("ctx", prompt=PROMPT, max_new_tokens=8)
+
+    assert result.generated_tokens == expected.generated_tokens
+    assert result.text == expected.text
+    assert result.prompt_tokens == expected.prompt_tokens  # same truncation
+
+
+@pytest.mark.parametrize("plan_kind", PLAN_KINDS)
+@pytest.mark.parametrize("num_shards", NUM_SHARDS)
+def test_decode_logits_allclose(num_shards, plan_kind):
+    config = make_config(plan_kind)
+    prompt_tokens = None
+
+    model = make_model((4, 2))
+    db = DB(config)
+    db.prefill_and_import(model, DOC, context_id="ctx")
+    prompt_tokens = db.tokenize(PROMPT)
+    session, truncated = db.create_session(prompt_tokens)
+    assert session.is_connected, "baseline must reuse the stored context"
+    assert session.plan_for_layer(0).index_kind == plan_kind
+    baseline = logits_trajectory(model, session, truncated, DECODE_FEED)
+    session.close()
+
+    sharded_model = make_model((4, 2))
+    router = ShardedContextRouter(sharded_model, num_workers=2, config=make_config(plan_kind))
+    ref = router.ingest(DOC, context_id="ctx", num_shards=num_shards)
+    reused = ref.num_tokens
+    assert prompt_tokens[:reused] == list(ref.tokens)
+    sharded_session = ShardedSession(
+        ref=ref, fanout=router, config=router.config, reused_prefix_length=reused
+    )
+    assert sharded_session.plan_for_layer(0).index_kind == plan_kind
+    sharded = logits_trajectory(
+        sharded_model, sharded_session, prompt_tokens[reused:], DECODE_FEED
+    )
+    sharded_session.close()
+
+    # absolute tolerance carries the comparison: the suffix-prefill dense
+    # path merges by log-sum-exp (vs the baseline's one concatenated
+    # softmax), which reorders float32 ops even at one shard
+    np.testing.assert_allclose(sharded, baseline, rtol=0, atol=1e-5)
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_full_reuse_prompt_matches_service(num_shards):
+    """Prompt == stored tokens: the bos-driven first forward pass must match."""
+    model = make_model((4, 2))
+    service = InferenceService(model, make_config("coarse"))
+    service.db.prefill_and_import(model, DOC, context_id="ctx")
+    expected, _ = service.serve(DOC, max_new_tokens=6)
+
+    sharded_model = make_model((4, 2))
+    router = ShardedContextRouter(sharded_model, num_workers=2, config=make_config("coarse"))
+    router.ingest(DOC, context_id="ctx", num_shards=num_shards)
+    result = router.generate("ctx", max_new_tokens=6)
+    assert result.generated_tokens == expected.generated_tokens

@@ -1,0 +1,188 @@
+"""Behavioral tests of the router/worker harness (placement, failover, memory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlayaDBConfig
+from repro.core.service import InferenceService
+from repro.errors import AdmissionRejectedError, ContextNotFoundError
+from repro.llm.model import ModelConfig, TransformerModel
+from repro.sharding import ShardedContextRouter, WorkerGroup
+from repro.storage.backend import InMemoryBackend
+
+DOC = "the quick brown fox jumps over the lazy dog. " * 6
+PROMPT = DOC + "what did the fox do?"
+
+
+def make_config(**overrides) -> AlayaDBConfig:
+    kwargs = dict(
+        short_context_threshold=128,
+        coarse_block_size=32,
+        coarse_num_blocks=4,
+        window_initial_tokens=8,
+        window_last_tokens=24,
+        prefill_chunk_tokens=64,
+    )
+    kwargs.update(overrides)
+    return AlayaDBConfig(**kwargs)
+
+
+def make_model(seed: int = 7) -> TransformerModel:
+    return TransformerModel(
+        ModelConfig(dim=32, num_layers=2, num_query_heads=4, num_kv_heads=2, hidden_dim=64, seed=seed)
+    )
+
+
+@pytest.fixture()
+def router():
+    return ShardedContextRouter(make_model(), num_workers=2, config=make_config())
+
+
+class TestPlacement:
+    def test_round_robin_assignment(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=4)
+        for shard_id in range(ref.num_shards):
+            owner = router.shard_owner("ctx", shard_id)
+            assert owner is router.workers[shard_id % 2]
+            assert ref.shard_id_of(shard_id) in owner.owned
+
+    def test_ingest_frees_router_side_copies(self, router):
+        router.ingest(DOC, context_id="ctx", num_shards=2)
+        store = router.db.store_registry
+        # ingest-side copies are spilled, durable objects + manifest rows stay
+        assert store.resident_kv_bytes == 0
+        for context_id, _ in store.items():
+            assert router.backend.exists(f"{context_id}.npz")
+
+    def test_unknown_context_raises(self, router):
+        with pytest.raises(ContextNotFoundError):
+            router.generate("nope")
+
+    def test_shards_do_not_pollute_prefix_trie(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        # a prompt equal to the *second shard's* tokens must not prefix-match
+        shard_tokens = list(ref.tokens[ref.plan.ranges[1].start :])
+        for worker in router.workers:
+            match = worker.db.store_registry.find_longest_prefix(shard_tokens)
+            assert not match.is_hit
+        # the base context stays matchable on the router's ingest DB
+        match = router.db.store_registry.find_longest_prefix(list(ref.tokens))
+        assert match.is_hit and match.context.context_id == "ctx"
+
+    def test_shard_contexts_marked_unmatchable(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        for shard_id in range(ref.num_shards):
+            shard_cid = ref.shard_id_of(shard_id)
+            owner = router.shard_owner("ctx", shard_id)
+            assert owner.db.store_registry.get(shard_cid).prefix_matchable is False
+
+
+class TestFailover:
+    def test_zero_shard_worker_cold_loads(self):
+        """A worker that never saw a shard serves it straight from storage."""
+        model = make_model()
+        group = WorkerGroup(model, config=make_config(), num_workers=3)
+        router = ShardedContextRouter(model, group=group)
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        before = router.generate("ctx", prompt=PROMPT, max_new_tokens=6)
+
+        spare = group.worker(2)
+        assert not spare.owned
+        assert "ctx--shard000" not in spare.db.store_registry
+
+        router.reassign_shard("ctx", 0, worker_id=2)
+        assert router.shard_owner("ctx", 0) is spare
+        assert spare.db.store_registry.get(ref.shard_id_of(0)).is_resident
+
+        after = router.generate("ctx", prompt=PROMPT, max_new_tokens=6)
+        assert after.generated_tokens == before.generated_tokens
+
+    def test_reassign_frees_previous_owner(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        old = router.shard_owner("ctx", 0)
+        shard_cid = ref.shard_id_of(0)
+        router.reassign_shard("ctx", 0, worker_id=1)
+        assert shard_cid not in old.owned
+        # the replica is spilled on the old owner, resident on the new one
+        assert not old.db.store_registry.get(shard_cid).is_resident
+        assert router.workers[1].db.store_registry.get(shard_cid).is_resident
+
+    def test_serving_survives_spill_and_reload(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        before = router.generate("ctx", prompt=PROMPT, max_new_tokens=6)
+        owner = router.shard_owner("ctx", 0)
+        owner.db.store_registry.spill(ref.shard_id_of(0))
+        after = router.generate("ctx", prompt=PROMPT, max_new_tokens=6)
+        assert after.generated_tokens == before.generated_tokens
+
+
+class TestAdmission:
+    def test_over_budget_request_rejected(self):
+        config = make_config(scheduler_gpu_budget_bytes=64)
+        router = ShardedContextRouter(make_model(), num_workers=2, config=config)
+        router.ingest(DOC, context_id="ctx", num_shards=2)
+        with pytest.raises(AdmissionRejectedError):
+            router.generate("ctx", prompt=PROMPT, max_new_tokens=8)
+        assert router.admission.committed_bytes == 0
+
+    def test_reservation_released_after_request(self, router):
+        router.ingest(DOC, context_id="ctx", num_shards=2)
+        router.generate("ctx", prompt=PROMPT, max_new_tokens=2)
+        assert router.admission.committed_bytes == 0
+
+
+class TestMemoryReport:
+    def test_per_worker_and_per_shard_rows(self, router):
+        ref = router.ingest(DOC, context_id="ctx", num_shards=4)
+        report = router.memory_report()
+
+        workers = report["workers"]
+        assert set(workers) == {"worker-0", "worker-1"}
+        for row in workers.values():
+            assert row["num_owned_shards"] == 2
+            assert row["resident_kv_bytes"] > 0
+            assert row["used_bytes"] >= row["resident_kv_bytes"]
+
+        shards = report["shards"]
+        assert set(shards) == {ref.shard_id_of(i) for i in range(4)}
+        for shard_cid, row in shards.items():
+            assert row["context_id"] == "ctx"
+            assert row["kv_bytes"] > 0
+            assert row["owner"] == f"worker-{row['shard_id'] % 2}"
+            assert row["owner"] in row["resident_on"]
+
+        assert report["router"]["num_contexts"] == 1
+        assert report["router"]["num_placed_shards"] == 4
+        assert report["router"]["admission_committed_bytes"] == 0
+
+    def test_service_per_context_report(self):
+        model = make_model()
+        service = InferenceService(model, make_config())
+        service.db.prefill_and_import(model, DOC, context_id="ctx")
+        report = service.memory_report(per_context=True)
+        assert report["contexts"]["ctx"]["resident"] is True
+        assert report["contexts"]["ctx"]["kv_bytes"] > 0
+        assert report["contexts"]["ctx"]["pin_count"] == 0
+        assert report["contexts"]["ctx"]["prefix_matchable"] is True
+        # the flat report keys stay intact alongside the per-context map
+        assert report["resident_kv_bytes"] > 0
+        assert "contexts" not in service.memory_report()
+
+
+class TestWorkerGroup:
+    def test_shared_backend_across_workers(self):
+        backend = InMemoryBackend()
+        group = WorkerGroup(make_model(), config=make_config(), backend=backend, num_workers=2)
+        assert all(worker.db.store_registry.backend is backend for worker in group.workers)
+
+    def test_refresh_adopts_new_manifest_entries(self):
+        model = make_model()
+        group = WorkerGroup(model, config=make_config(), num_workers=2)
+        router = ShardedContextRouter(model, group=group)
+        ref = router.ingest(DOC, context_id="ctx", num_shards=2)
+        group.refresh()
+        for worker in group.workers:
+            for shard_id in range(ref.num_shards):
+                assert ref.shard_id_of(shard_id) in worker.db.store_registry

@@ -1,0 +1,127 @@
+"""Backend-factory registry and list_keys key-prefix contract regressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.backend import (
+    FilesystemBackend,
+    InMemoryBackend,
+    StorageBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    unregister_backend,
+)
+
+
+class TracingBackend(InMemoryBackend):
+    """Toy backend: records the path its factory received."""
+
+    def __init__(self, path=None):
+        super().__init__()
+        self.path = path
+
+
+class TestBackendRegistry:
+    def test_register_make_unregister_roundtrip(self):
+        register_backend("tracing", TracingBackend)
+        try:
+            assert "tracing" in available_backends()
+            backend = make_backend("tracing", "some/where")
+            assert isinstance(backend, TracingBackend)
+            assert backend.path == "some/where"
+        finally:
+            assert unregister_backend("tracing")
+        assert "tracing" not in available_backends()
+        assert not unregister_backend("tracing")  # idempotent
+
+    def test_duplicate_registration_needs_overwrite(self):
+        register_backend("dup", TracingBackend)
+        try:
+            with pytest.raises(StorageError):
+                register_backend("dup", TracingBackend)
+            register_backend("dup", TracingBackend, overwrite=True)
+        finally:
+            unregister_backend("dup")
+
+    def test_builtins_protected(self):
+        with pytest.raises(StorageError):
+            register_backend("memory", TracingBackend)
+        with pytest.raises(StorageError):
+            unregister_backend("filesystem")
+        with pytest.raises(StorageError):
+            register_backend("", TracingBackend)
+
+    def test_factory_must_return_backend(self):
+        register_backend("broken", lambda path=None: object())
+        try:
+            with pytest.raises(StorageError):
+                make_backend("broken")
+        finally:
+            unregister_backend("broken")
+
+    def test_registered_backend_usable_by_config(self):
+        # AlayaDBConfig validates storage_backend against the live registry
+        from repro.core.config import AlayaDBConfig
+
+        register_backend("toy", TracingBackend)
+        try:
+            config = AlayaDBConfig(storage_backend="toy")
+            assert config.storage_backend == "toy"
+        finally:
+            unregister_backend("toy")
+        with pytest.raises(Exception):
+            AlayaDBConfig(storage_backend="toy")
+
+
+@pytest.fixture(params=["filesystem", "memory"])
+def backend(request, tmp_path) -> StorageBackend:
+    if request.param == "filesystem":
+        return FilesystemBackend(tmp_path / "db")
+    return InMemoryBackend()
+
+
+class TestListKeysPrefixContract:
+    """``prefix`` is a string prefix of the *key*, never a directory filter."""
+
+    def test_prefix_spans_directory_boundaries(self, backend):
+        backend.write_bytes("ctx-1.npz", b"a")
+        backend.write_bytes("ctx-1/part-0.npz", b"b")
+        backend.write_bytes("ctx-10.npz", b"c")
+        backend.write_bytes("ctx-2.npz", b"d")
+        assert backend.list_keys("ctx-1") == [
+            "ctx-1.npz",
+            "ctx-1/part-0.npz",
+            "ctx-10.npz",
+        ]
+        assert backend.total_bytes("ctx-1") == 3
+
+    def test_nested_keys_listed_with_posix_separators(self, backend):
+        backend.write_bytes("a/b/c.bin", b"xy")
+        backend.write_bytes("a/b.bin", b"z")
+        assert backend.list_keys("a/") == ["a/b.bin", "a/b/c.bin"]
+        assert backend.list_keys("a/b/") == ["a/b/c.bin"]
+        assert backend.total_bytes("a/") == 3
+
+    def test_key_merely_ending_in_tmp_stays_visible(self, backend):
+        # only the atomic-write temps (".<name>.*.tmp") are hidden
+        backend.write_bytes("snapshot.tmp", b"legit")
+        assert backend.list_keys() == ["snapshot.tmp"]
+        assert backend.total_bytes() == 5
+
+    def test_empty_prefix_lists_everything(self, backend):
+        backend.write_bytes("x", b"1")
+        backend.write_bytes("dir/y", b"2")
+        assert backend.list_keys() == ["dir/y", "x"]
+
+    def test_escaping_keys_rejected_not_listed(self, tmp_path):
+        backend = FilesystemBackend(tmp_path / "root")
+        (tmp_path / "outside.bin").write_bytes(b"secret")
+        with pytest.raises(StorageError):
+            backend.write_bytes("../outside2.bin", b"x")
+        with pytest.raises(StorageError):
+            backend.read_bytes("../outside.bin")
+        backend.write_bytes("inside.bin", b"ok")
+        assert backend.list_keys() == ["inside.bin"]
