@@ -1,0 +1,123 @@
+"""The network serving frontend: SSE streams, cancellation, backpressure.
+
+This example boots the asyncio HTTP server (``repro.server``) in-process on
+an ephemeral port and drives it the way an external client would:
+
+1. ``POST /v1/completions`` without ``stream`` returns the whole completion
+   as one JSON body;
+2. with ``"stream": true`` the response is an SSE stream — one ``data:``
+   event per generated token, a final summary event, then ``[DONE]``;
+3. ``DELETE /v1/requests/{id}`` cancels a stream mid-flight (the final SSE
+   event reports ``finish_reason: "cancelled"``);
+4. a tenant that outruns its queue quota is refused with **429** carrying
+   ``Retry-After`` and ``X-Queue-Position`` instead of being queued forever;
+5. ``GET /v1/stats`` exposes the scheduler counters, the memory report, and
+   the per-tenant accounting rows;
+6. a graceful ``shutdown(drain=True)`` finishes in-flight streams and exits
+   with zero pinned contexts and zero admission reservations.
+
+The tiny NumPy substrate generates byte gibberish — watch the counters and
+status codes, not the text.
+
+Run with:  python examples/http_client.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import AlayaDBConfig, InferenceService, ModelConfig, TransformerModel
+from repro.scheduler import TenantSpec
+from repro.server import AlayaDBServer, ServerClient
+
+
+async def main() -> None:
+    model = TransformerModel(ModelConfig.tiny(seed=41))
+    config = AlayaDBConfig(
+        http_port=0,  # ephemeral port; server.address reports the real one
+        window_initial_tokens=8,
+        window_last_tokens=16,
+        short_context_threshold=1 << 20,  # decode with full attention (tiny contexts)
+        max_inflight_requests=2,
+        tenants=(
+            TenantSpec(name="gold", weight=3),
+            TenantSpec(name="bronze", weight=1, max_queued=1),
+        ),
+    )
+    service = InferenceService(model, config)
+    server = AlayaDBServer(service)
+    await server.start()
+    host, port = server.address
+    print(f"serving on http://{host}:{port}")
+    client = ServerClient(host, port)
+
+    # --- 1. a non-streaming completion ----------------------------------------
+    print("\n=== POST /v1/completions (non-streaming) ===")
+    response = await client.completion(prompt="complete me over the wire ", max_new_tokens=4)
+    body = response.json()
+    print(f"HTTP {response.status}: request {body['id']}, "
+          f"finish_reason={body['finish_reason']!r}, "
+          f"usage {body['usage']['prompt_tokens']}+{body['usage']['completion_tokens']}")
+
+    # --- 2. a streaming completion (SSE) --------------------------------------
+    print("\n=== POST /v1/completions (SSE stream) ===")
+    stream, events = await client.collect_stream(
+        prompt="stream me token by token ", max_new_tokens=5, tenant="gold"
+    )
+    tokens = [e["token_id"] for e in events if "token_id" in e]
+    print(f"HTTP {stream.status}: {len(tokens)} token events {tokens}, "
+          f"final finish_reason={events[-1]['finish_reason']!r}")
+
+    # --- 3. cancel a stream mid-flight via DELETE -----------------------------
+    print("\n=== DELETE /v1/requests/{id} mid-stream ===")
+    doomed = await client.stream_completion(prompt="the client walks away " * 4,
+                                            max_new_tokens=500)
+    seen = 0
+    async for event in doomed.events():
+        if "token_id" in event:
+            seen += 1
+            if seen == 2:  # two tokens in, the client changes its mind
+                cancel = await client.cancel(doomed.request_id)
+                print(f"DELETE -> HTTP {cancel.status} {cancel.json()}")
+        if event.get("done"):
+            print(f"stream ended after {seen} tokens, "
+                  f"finish_reason={event['finish_reason']!r}")
+    await doomed.close()
+
+    # --- 4. backpressure: the bronze tenant outruns its quota -----------------
+    print("\n=== 429 backpressure (bronze: max_queued=1) ===")
+    # saturate the two inflight slots with slow gold streams, then queue one
+    # bronze request; the *second* bronze submission exceeds max_queued=1
+    hogs = [
+        await client.stream_completion(prompt=f"hog {i} ", max_new_tokens=300,
+                                       tenant="gold")
+        for i in range(2)
+    ]
+    queued = await client.stream_completion(prompt="bronze waits ", max_new_tokens=2,
+                                            tenant="bronze")
+    refused = await client.completion(prompt="bronze overflow ", max_new_tokens=2,
+                                      tenant="bronze")
+    print(f"overflow submission -> HTTP {refused.status} "
+          f"(code={refused.json()['error']['code']!r}, "
+          f"Retry-After={refused.headers.get('retry-after')}, "
+          f"X-Queue-Position={refused.headers.get('x-queue-position')})")
+    for hog in hogs:
+        hog.abort()  # disconnects cancel the hogs and free the slots
+    async for _ in queued.events():
+        pass  # the queued bronze stream now completes
+    await queued.close()
+
+    # --- 5. stats and graceful drain ------------------------------------------
+    print("\n=== GET /v1/stats, then drain ===")
+    stats = await client.stats()
+    print(f"scheduler: completed={stats['scheduler']['completed']} "
+          f"cancelled={stats['scheduler']['cancelled']}")
+    for name, row in stats["memory"]["tenants"].items():
+        print(f"  tenant {name}: completed={row['completed']} "
+              f"tokens_served={row['tokens_served']} throttled_429={row['throttled_429']}")
+    await server.shutdown(drain=True)  # asserts zero pins / zero reservations
+    print(f"server drained cleanly (state: {server.state})")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

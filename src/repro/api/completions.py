@@ -89,6 +89,7 @@ class Completions:
         priority: int = 0,
         slo: "SLO | None" = None,
         store_context_id: str | None = None,
+        tenant: str | None = None,
     ) -> Completion | Iterator[CompletionChunk]:
         """Serve one completion.
 
@@ -96,7 +97,8 @@ class Completions:
         returns a :class:`Completion`.  With ``stream=True`` it returns an
         iterator of :class:`CompletionChunk` deltas backed by
         ``RequestHandle.tokens()`` — cancellation of the underlying request
-        simply ends the stream early.
+        simply ends the stream early.  ``tenant`` attributes the request for
+        fairness/quota accounting when the service runs tenant governance.
         """
         handle = self._service.submit(
             prompt,
@@ -104,6 +106,7 @@ class Completions:
             priority=priority,
             slo=slo,
             store_context_id=store_context_id,
+            tenant=tenant,
         )
         if stream:
             return self._stream(handle)

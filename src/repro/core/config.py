@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ConfigError
 from ..index.builder import IndexBuildConfig
+from ..scheduler.tenancy import TenantSpec
 from ..simulator.device import GIB
 from ..simulator.slo import SLO
 
@@ -153,6 +154,43 @@ class AlayaDBConfig:
     """Global GPU-memory budget admission control enforces across all
     in-flight requests; ``None`` disables admission control."""
 
+    # multi-tenant fairness and backpressure (the serving frontend's policy)
+    tenant_fairness: bool = False
+    """Route admission through a :class:`~repro.scheduler.tenancy.TenantGovernor`:
+    deficit-round-robin weighted fair queuing across tenants (the FCFS/SLO
+    policy still orders requests *within* each tenant), per-tenant in-flight
+    and reserved-byte quotas, and queue-depth backpressure — an over-limit
+    submission raises ``TenantThrottledError`` (HTTP 429) instead of queuing
+    without bound.  Implied on when ``tenants`` is non-empty."""
+
+    tenants: tuple[TenantSpec, ...] = ()
+    """Declared tenants (name, DRR weight, quotas, backpressure threshold).
+    Undeclared tenant ids are auto-registered with ``tenant_default_max_queued``
+    and weight 1 unless ``strict_tenants`` rejects them."""
+
+    strict_tenants: bool = False
+    """Reject requests naming a tenant absent from ``tenants``
+    (``UnknownTenantError``; the HTTP 400 path) instead of auto-registering."""
+
+    tenant_quantum_tokens: int = 256
+    """Deficit-round-robin replenishment per weight unit: each full scan of
+    the tenant ring entitles a backlogged tenant to ``quantum x weight`` more
+    admitted tokens (prompt + budgeted generation)."""
+
+    tenant_default_max_queued: int | None = None
+    """Backpressure threshold applied to auto-registered tenants (and the
+    implicit ``default`` tenant); ``None`` never throttles them."""
+
+    # async HTTP serving frontend
+    http_host: str = "127.0.0.1"
+    """Interface the asyncio HTTP server binds."""
+
+    http_port: int = 8793
+    """Port the asyncio HTTP server binds (0 picks an ephemeral port)."""
+
+    http_max_body_bytes: int = 1 << 20
+    """Largest accepted request body; beyond it the server answers 413."""
+
     scheduler_drain_index_builds: bool = False
     """When set, the scheduler drains one pending (lazy) fine-index build
     after each step instead of leaving builds to first sparse use."""
@@ -243,6 +281,26 @@ class AlayaDBConfig:
             )
         if self.context_store_budget_bytes is not None and self.context_store_budget_bytes <= 0:
             raise ConfigError("context_store_budget_bytes must be positive when set")
+        if self.tenant_quantum_tokens <= 0:
+            raise ConfigError(
+                f"tenant_quantum_tokens must be positive, got {self.tenant_quantum_tokens}"
+            )
+        if self.tenant_default_max_queued is not None and self.tenant_default_max_queued <= 0:
+            raise ConfigError(
+                f"tenant_default_max_queued must be positive when set, "
+                f"got {self.tenant_default_max_queued}"
+            )
+        names = [spec.name for spec in self.tenants]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"tenant names must be unique, got {names}")
+        if self.strict_tenants and not self.tenants:
+            raise ConfigError("strict_tenants requires at least one declared tenant")
+        if not 0 <= self.http_port <= 65535:
+            raise ConfigError(f"http_port must be in [0, 65535], got {self.http_port}")
+        if self.http_max_body_bytes <= 0:
+            raise ConfigError(
+                f"http_max_body_bytes must be positive, got {self.http_max_body_bytes}"
+            )
         from ..storage.backend import available_backends
 
         if self.storage_backend not in available_backends():
@@ -265,6 +323,16 @@ class AlayaDBConfig:
     @property
     def window_total_tokens(self) -> int:
         return self.window_initial_tokens + self.window_last_tokens
+
+    @property
+    def tenant_governance_enabled(self) -> bool:
+        """Whether the service should construct a ``TenantGovernor``."""
+        return (
+            self.tenant_fairness
+            or bool(self.tenants)
+            or self.strict_tenants
+            or self.tenant_default_max_queued is not None
+        )
 
     def scaled_beta(self, head_dim: int) -> float:
         """The DIPR ``beta`` adjusted for the substrate's head dimension.

@@ -47,10 +47,13 @@ from ..llm.generation import GenerationLoop, GenerationResult
 from ..llm.model import TransformerModel
 from ..llm.sampling import sample_token
 from ..scheduler import (
+    DEFAULT_TENANT,
     AdmissionController,
     InFlightRequest,
     Request,
     RequestScheduler,
+    TenantGovernor,
+    TenantSpec,
     make_policy,
 )
 from ..simulator.cost_model import CostModel
@@ -110,6 +113,9 @@ class ServiceStats:
     store: ContextStore | None = None
     """Live view of the context store, exposing the disk tier: spilled and
     on-disk byte totals plus reload counts split deserialize vs. rebuild."""
+    tenants: TenantGovernor | None = None
+    """Live view of the tenant governor (``None`` without tenant governance):
+    per-tenant in-flight/queued/deferred/429/tokens-served counters."""
 
     @property
     def num_requests(self) -> int:
@@ -164,6 +170,21 @@ class ServiceStats:
         """Reloads that fell back to rebuilding indexes from the keys."""
         return self.store.reload_rebuilt_count if self.store is not None else 0
 
+    @property
+    def throttled(self) -> int:
+        """Submissions refused by per-tenant backpressure (HTTP 429s)."""
+        if self.tenants is None:
+            return 0
+        return sum(
+            self.tenants.stats(name).throttled for name in self.tenants.known_tenants()
+        )
+
+    def tenant_rows(self, queued_by_tenant: dict[str, int] | None = None) -> dict[str, dict]:
+        """Per-tenant observability rows (empty without tenant governance)."""
+        if self.tenants is None:
+            return {}
+        return self.tenants.snapshot(queued_by_tenant)
+
 
 class InferenceService:
     """Serves generation requests through AlayaDB with SLO accounting.
@@ -197,10 +218,23 @@ class InferenceService:
         self.decode_timings = StageTimings()
         """Per-stage decode wall time (retrieval / merge / dense) across all
         decode rounds served so far; surfaced through :meth:`memory_report`."""
+        self.tenants = (
+            TenantGovernor(
+                specs=self.config.tenants,
+                quantum_tokens=self.config.tenant_quantum_tokens,
+                strict=self.config.strict_tenants,
+                default_spec=TenantSpec(
+                    name=DEFAULT_TENANT, max_queued=self.config.tenant_default_max_queued
+                ),
+            )
+            if self.config.tenant_governance_enabled
+            else None
+        )
         self.stats = ServiceStats(
             buffer=self.db.buffer_stats,
             decode_timings=self.decode_timings,
             store=self.db.store_registry,
+            tenants=self.tenants,
         )
         self.slo_tracker = SLOTracker(self.config.slo)
         self.scheduler = RequestScheduler(
@@ -212,6 +246,7 @@ class InferenceService:
             decode_batching=self.config.decode_batching,
             preemption=self.config.preemption,
             preemption_slack_seconds=self.config.preemption_slack_seconds,
+            tenants=self.tenants,
         )
         self._attention_policy = (
             DynamicAttentionPolicy(
@@ -258,6 +293,7 @@ class InferenceService:
         gpu_memory_budget_bytes: int | None = None,
         prefill_chunk_tokens: int | None = None,
         store_context_id: str | None = None,
+        tenant: str | None = None,
     ) -> RequestHandle:
         """Enqueue a request; returns a :class:`RequestHandle`.
 
@@ -266,11 +302,24 @@ class InferenceService:
         Invalid requests — an empty prompt, negative ``max_new_tokens``, a
         non-positive ``prefill_chunk_tokens`` override — are rejected here
         with a ``ValueError`` instead of failing mid-round.
+
+        With tenant governance active, ``tenant`` attributes the request for
+        weighted fairness and quotas; an unknown tenant under
+        ``strict_tenants`` raises :class:`UnknownTenantError`, and a tenant
+        at its queue-depth limit raises :class:`TenantThrottledError`
+        (backpressure — the HTTP frontend's 429) *before* anything queues.
         """
         if isinstance(prompt, str) and not prompt:
             # the byte tokenizer would still emit a BOS token; reject the
             # empty *text* explicitly so the error names the real problem
             raise ValueError("prompt must not be an empty string")
+        tenant_name = tenant or DEFAULT_TENANT
+        if self.tenants is not None:
+            spec = self.tenants.resolve(tenant_name)  # UnknownTenantError when strict
+            tenant_name = spec.name
+            self.tenants.check_backpressure(
+                tenant_name, self.scheduler.queued_by_tenant().get(tenant_name, 0)
+            )
         self._request_counter += 1
         request = Request(
             request_id=self._request_counter,
@@ -281,6 +330,7 @@ class InferenceService:
             gpu_memory_budget_bytes=gpu_memory_budget_bytes,
             prefill_chunk_tokens=prefill_chunk_tokens,
             store_context_id=store_context_id,
+            tenant=tenant_name,
         )
         self.scheduler.submit(request)
         return RequestHandle(self, request)
@@ -683,6 +733,8 @@ class InferenceService:
             "decode_dense_seconds": self.decode_timings.dense_seconds,
             "decode_rounds": self.decode_timings.rounds,
         }
+        if self.tenants is not None:
+            report["tenants"] = self.tenants.snapshot(self.scheduler.queued_by_tenant())
         if per_context:
             report["contexts"] = {
                 context_id: {

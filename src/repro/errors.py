@@ -52,6 +52,33 @@ class RequestCancelledError(DatabaseError):
     produce no :class:`GenerationResult`."""
 
 
+class UnknownTenantError(DatabaseError):
+    """A request named a tenant the service does not know and the tenant
+    registry runs in strict mode (``strict_tenants``)."""
+
+
+class TenantThrottledError(DatabaseError):
+    """Backpressure: the tenant's queue is at its depth limit, so the request
+    was refused at submission instead of queuing without bound.  Carries what
+    an HTTP frontend needs for a 429 response: the tenant, its current queue
+    depth, the position this request *would* have taken, and a retry hint."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str = "default",
+        queue_depth: int = 0,
+        queue_position: int = 0,
+        retry_after_seconds: float = 1.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.queue_position = queue_position
+        self.retry_after_seconds = retry_after_seconds
+
+
 class QueryError(ReproError):
     """Base class for query-processing errors."""
 

@@ -9,6 +9,10 @@ step-driven, memory-governed pipeline:
   (FCFS or SLO-aware least-slack-first);
 * :class:`~repro.scheduler.admission.AdmissionController` — global
   GPU-memory admission control across all in-flight requests;
+* :class:`~repro.scheduler.tenancy.TenantGovernor` — multi-tenant weighted
+  fairness (deficit round robin across tenants, wrapping the FCFS/SLO
+  intra-tenant order), per-tenant in-flight/byte quotas, and queue-depth
+  backpressure (the HTTP 429 path);
 * :class:`~repro.scheduler.scheduler.RequestScheduler` — the step loop that
   interleaves chunked prefill and decode across in-flight sessions, batching
   all decode-ready requests into one shared forward pass (continuous
@@ -24,11 +28,13 @@ from .admission import AdmissionController, AdmissionDecision, AdmissionStats
 from .policy import FCFSPolicy, SchedulerPolicy, SLOAwarePolicy, make_policy
 from .request import InFlightRequest, Request, RequestState
 from .scheduler import RequestScheduler, SchedulerBackend, SchedulerStats
+from .tenancy import DEFAULT_TENANT, TenantGovernor, TenantSpec, TenantStats
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionStats",
+    "DEFAULT_TENANT",
     "FCFSPolicy",
     "InFlightRequest",
     "Request",
@@ -38,5 +44,8 @@ __all__ = [
     "SchedulerPolicy",
     "SchedulerStats",
     "SLOAwarePolicy",
+    "TenantGovernor",
+    "TenantSpec",
+    "TenantStats",
     "make_policy",
 ]

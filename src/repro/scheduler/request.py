@@ -53,6 +53,9 @@ class Request:
     store_context_id: str | None = None
     """When set, the backend persists the finished session's accumulated
     context (prompt + generated KV) under this id for cross-turn reuse."""
+    tenant: str = "default"
+    """The tenant this request is billed to; drives weighted fair queuing,
+    per-tenant quotas, and backpressure when a ``TenantGovernor`` is active."""
     submitted_at: float = 0.0
     arrival_order: int = 0
     state: str = RequestState.QUEUED

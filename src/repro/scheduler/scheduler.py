@@ -22,6 +22,7 @@ from typing import Protocol, Sequence
 from .admission import AdmissionController, AdmissionDecision
 from .policy import FCFSPolicy, SchedulerPolicy
 from .request import InFlightRequest, Request, RequestState
+from .tenancy import TenantGovernor
 
 __all__ = ["SchedulerBackend", "SchedulerStats", "RequestScheduler"]
 
@@ -113,11 +114,17 @@ class RequestScheduler:
         decode_batching: bool = True,
         preemption: bool = False,
         preemption_slack_seconds: float = 0.5,
+        tenants: TenantGovernor | None = None,
     ):
         if max_inflight <= 0:
             raise ValueError(f"max_inflight must be positive, got {max_inflight}")
         self.backend = backend
         self.policy = policy or FCFSPolicy()
+        self.tenants = tenants
+        """Optional multi-tenant governor: when set, admission order across
+        tenants is deficit round robin (``tenants.select`` wrapping
+        ``policy``) and the governor's lifecycle hooks keep per-tenant
+        quota/fairness counters."""
         self.admission = admission or AdmissionController()
         self.max_inflight = max_inflight
         self.drain_index_builds = drain_index_builds
@@ -163,6 +170,13 @@ class RequestScheduler:
     def queued_requests(self) -> list[Request]:
         return list(self._queue)
 
+    def queued_by_tenant(self) -> dict[str, int]:
+        """Live queue depth per tenant (includes deferred requests)."""
+        counts: dict[str, int] = {}
+        for request in self._queue:
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+        return counts
+
     def inflight_requests(self) -> list[InFlightRequest]:
         return list(self._inflight)
 
@@ -201,6 +215,8 @@ class RequestScheduler:
                 self._queue.pop(index)
                 request.state = RequestState.CANCELLED
                 self.stats.cancelled += 1
+                if self.tenants is not None:
+                    self.tenants.on_cancelled_queued(request)
                 return True
         for pool in (self._inflight, self._preempted):
             for index, inflight in enumerate(pool):
@@ -210,6 +226,8 @@ class RequestScheduler:
                     self.admission.release(inflight.reserved_bytes)
                     inflight.reserved_bytes = 0
                     self.stats.cancelled += 1
+                    if self.tenants is not None:
+                        self.tenants.on_cancelled_inflight(inflight)
                     cancel = getattr(self.backend, "cancel_request", None)
                     if cancel is not None:
                         cancel(inflight)
@@ -275,7 +293,13 @@ class RequestScheduler:
     def _admit(self) -> None:
         while self._queue and len(self._inflight) < self.max_inflight:
             now = time.monotonic()
-            index = self.policy.select(self._queue, now)
+            if self.tenants is not None:
+                selected = self.tenants.select(self._queue, self.policy, now)
+                if selected is None:
+                    break  # every backlogged tenant is at its quota/budget
+                index = selected
+            else:
+                index = self.policy.select(self._queue, now)
             request = self._queue[index]
             estimate = self.backend.estimate_request_bytes(request)
             decision = self.admission.try_admit(estimate)
@@ -283,6 +307,8 @@ class RequestScheduler:
                 self._queue.pop(index)
                 request.state = RequestState.REJECTED
                 self.stats.rejected += 1
+                if self.tenants is not None:
+                    self.tenants.on_rejected(request)
                 self.backend.reject_request(request)
                 continue
             if decision == AdmissionDecision.DEFER:
@@ -291,6 +317,8 @@ class RequestScheduler:
                 if request.state != RequestState.DEFERRED:
                     request.state = RequestState.DEFERRED
                     self.stats.deferrals += 1
+                    if self.tenants is not None:
+                        self.tenants.on_deferred(request)
                 break
             self._queue.pop(index)
             try:
@@ -303,6 +331,8 @@ class RequestScheduler:
                 request.state = RequestState.FAILED
                 request.error = f"{type(exc).__name__}: {exc}"
                 self.stats.failed += 1
+                if self.tenants is not None:
+                    self.tenants.on_failed(request)
                 fail = getattr(self.backend, "fail_request", None)
                 if fail is not None:
                     fail(request, exc)
@@ -315,6 +345,8 @@ class RequestScheduler:
             inflight.admitted_at = now
             request.state = RequestState.RUNNING
             self.stats.admitted += 1
+            if self.tenants is not None:
+                self.tenants.on_admitted(request, estimate)
             self._inflight.append(inflight)
 
     def _resume_preempted(self) -> None:
@@ -367,6 +399,8 @@ class RequestScheduler:
             inflight.request.state = RequestState.FINISHED
             self.admission.release(inflight.reserved_bytes)
             self.stats.completed += 1
+            if self.tenants is not None:
+                self.tenants.on_finished(inflight)
             self.backend.finish_request(inflight)
         if self.drain_index_builds:
             self.backend.between_steps()

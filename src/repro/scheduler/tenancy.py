@@ -1,0 +1,386 @@
+"""Multi-tenant scheduling: weighted fairness, quotas, and backpressure.
+
+The serving frontend attributes every request to a *tenant*; this module is
+the policy layer that keeps tenants from starving each other:
+
+* :class:`TenantSpec` declares a tenant — its deficit-round-robin ``weight``
+  and three optional governors: ``max_inflight`` (concurrent admitted
+  requests), ``reserved_bytes_budget`` (a per-tenant slice of the admission
+  budget), and ``max_queued`` (the backpressure threshold — a submission
+  beyond it is refused with :class:`~repro.errors.TenantThrottledError`, the
+  HTTP 429 path, instead of queuing without bound);
+
+* :class:`TenantGovernor` plugs into :class:`RequestScheduler`: admission
+  *order across tenants* is deficit round robin (each visit a backlogged
+  tenant's deficit grows by ``quantum x weight``; a request is admitted when
+  the deficit covers its token cost and the cost is then deducted), while the
+  order *within* one tenant is still the wrapped FCFS/SLO policy — so SLO
+  urgency keeps working inside each tenant's share.  Tenants at their
+  in-flight quota or byte budget are skipped (their deficit neither grows nor
+  resets: they are self-limited, not starved);
+
+* the governor also keeps the per-tenant counters (in flight, queued,
+  deferred, throttled, tokens served, ...) that ``ServiceStats`` and
+  ``memory_report()`` expose, so fairness is observable, not just enforced.
+
+The scheduler calls the ``on_*`` lifecycle hooks; nothing here touches model
+or storage state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ConfigError, TenantThrottledError, UnknownTenantError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .policy import SchedulerPolicy
+    from .request import InFlightRequest, Request
+
+__all__ = ["TenantSpec", "TenantStats", "TenantGovernor", "DEFAULT_TENANT"]
+
+DEFAULT_TENANT = "default"
+"""Tenant requests fall under when the caller names none."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declared limits and fair-queuing weight of one tenant."""
+
+    name: str
+    weight: int = 1
+    """Deficit-round-robin weight: a tenant with weight 3 is entitled to 3x
+    the admitted token throughput of a weight-1 tenant under saturation."""
+    max_inflight: int | None = None
+    """Concurrent admitted (running or preempted) requests; ``None`` leaves
+    the tenant bounded only by the scheduler's global ``max_inflight``."""
+    max_queued: int | None = None
+    """Queue-depth backpressure threshold: a submission finding this many of
+    the tenant's requests already queued raises ``TenantThrottledError``
+    (HTTP 429) instead of queuing.  ``None`` never throttles."""
+    reserved_bytes_budget: int | None = None
+    """Cap on the tenant's concurrently reserved admission bytes (the sum of
+    its in-flight requests' estimates); ``None`` is uncapped."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must not be empty")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name!r} weight must be positive, got {self.weight}")
+        if self.max_inflight is not None and self.max_inflight <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r} max_inflight must be positive when set, "
+                f"got {self.max_inflight}"
+            )
+        if self.max_queued is not None and self.max_queued <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r} max_queued must be positive when set, "
+                f"got {self.max_queued}"
+            )
+        if self.reserved_bytes_budget is not None and self.reserved_bytes_budget <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r} reserved_bytes_budget must be positive "
+                f"when set, got {self.reserved_bytes_budget}"
+            )
+
+
+@dataclass
+class TenantStats:
+    """Live counters of one tenant (mutated by the governor's hooks)."""
+
+    inflight: int = 0
+    """Admitted requests not yet terminal (running or preempted)."""
+    reserved_bytes: int = 0
+    """Sum of the in-flight requests' admission estimates."""
+    deficit_tokens: float = 0.0
+    """The DRR deficit counter (token-denominated service credit)."""
+    admitted: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    failed: int = 0
+    deferred: int = 0
+    """Requests that waited on the global memory budget at least once."""
+    throttled: int = 0
+    """Submissions refused by queue-depth backpressure (the HTTP 429 count)."""
+    tokens_served: int = 0
+    """Generated tokens delivered across the tenant's finished requests."""
+    service_seconds_ema: float = 0.0
+    """Exponential moving average of one request's compute time (prefill +
+    decode), the basis of the ``Retry-After`` hint."""
+
+
+class TenantGovernor:
+    """Deficit-round-robin admission across tenants, plus quota bookkeeping.
+
+    ``strict`` rejects unknown tenant names (``UnknownTenantError``); without
+    it, a first-seen tenant is auto-registered with ``default_spec``'s
+    limits.  ``quantum_tokens`` is the per-weight-unit deficit replenishment:
+    one full scheduling cycle entitles a tenant to ``quantum x weight`` more
+    admitted tokens, which is what makes long-run admitted-token throughput
+    proportional to the weights.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec] = (),
+        quantum_tokens: int = 256,
+        strict: bool = False,
+        default_spec: TenantSpec | None = None,
+    ):
+        if quantum_tokens <= 0:
+            raise ConfigError(f"quantum_tokens must be positive, got {quantum_tokens}")
+        self.quantum_tokens = quantum_tokens
+        self.strict = strict
+        self.default_spec = default_spec or TenantSpec(name=DEFAULT_TENANT)
+        self._specs: dict[str, TenantSpec] = {}
+        self._stats: dict[str, TenantStats] = {}
+        self._ring: list[str] = []
+        """Round-robin visiting order (registration order)."""
+        self._current = 0
+        """Ring index the next DRR scan starts from."""
+        self._visiting = False
+        """True while ``_current``'s tenant is mid-burst (it was picked last
+        and keeps the turn until its deficit runs out).  A mid-burst tenant is
+        *not* replenished — replenishment happens once per rotation arrival,
+        which is what makes long-run shares proportional to the weights."""
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ConfigError(f"duplicate tenant spec {spec.name!r}")
+            self._register(spec)
+        if not strict and DEFAULT_TENANT not in self._specs:
+            self._register(
+                TenantSpec(
+                    name=DEFAULT_TENANT,
+                    weight=self.default_spec.weight,
+                    max_inflight=self.default_spec.max_inflight,
+                    max_queued=self.default_spec.max_queued,
+                    reserved_bytes_budget=self.default_spec.reserved_bytes_budget,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def _register(self, spec: TenantSpec) -> TenantSpec:
+        self._specs[spec.name] = spec
+        self._stats[spec.name] = TenantStats()
+        self._ring.append(spec.name)
+        return spec
+
+    def resolve(self, name: str | None) -> TenantSpec:
+        """The spec serving ``name`` (auto-registering when not strict)."""
+        name = name or DEFAULT_TENANT
+        spec = self._specs.get(name)
+        if spec is not None:
+            return spec
+        if self.strict:
+            known = ", ".join(repr(n) for n in self._ring) or "none"
+            raise UnknownTenantError(
+                f"unknown tenant {name!r} (strict tenant registry; declared: {known})"
+            )
+        return self._register(
+            TenantSpec(
+                name=name,
+                weight=self.default_spec.weight,
+                max_inflight=self.default_spec.max_inflight,
+                max_queued=self.default_spec.max_queued,
+                reserved_bytes_budget=self.default_spec.reserved_bytes_budget,
+            )
+        )
+
+    def known_tenants(self) -> list[str]:
+        return list(self._ring)
+
+    def spec(self, name: str) -> TenantSpec:
+        return self._specs[name]
+
+    def stats(self, name: str) -> TenantStats:
+        return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # backpressure (the submit-time 429 path)
+    # ------------------------------------------------------------------
+    def check_backpressure(self, name: str, queued: int) -> None:
+        """Refuse a submission when the tenant's queue is at its limit.
+
+        ``queued`` is the tenant's current scheduler queue depth.  Raises
+        :class:`TenantThrottledError` carrying the queue position the request
+        would have taken and a ``Retry-After`` hint derived from the tenant's
+        recent per-request service time (how long until roughly one queue
+        slot frees up).
+        """
+        spec = self.resolve(name)
+        if spec.max_queued is None or queued < spec.max_queued:
+            return
+        stats = self._stats[spec.name]
+        stats.throttled += 1
+        per_request = stats.service_seconds_ema or 1.0
+        retry_after = max(1.0, per_request * max(stats.inflight + 1, 1))
+        raise TenantThrottledError(
+            f"tenant {spec.name!r} has {queued} requests queued "
+            f"(max_queued={spec.max_queued}); retry in ~{retry_after:.0f}s",
+            tenant=spec.name,
+            queue_depth=queued,
+            queue_position=queued + 1,
+            retry_after_seconds=retry_after,
+        )
+
+    # ------------------------------------------------------------------
+    # deficit-round-robin admission order
+    # ------------------------------------------------------------------
+    @staticmethod
+    def request_cost(request: "Request") -> int:
+        """A request's DRR cost: the tokens it will make the service process."""
+        return request.num_prompt_tokens + request.max_new_tokens
+
+    def _eligible(self, name: str) -> bool:
+        """Whether the tenant may take another admission right now."""
+        spec = self._specs[name]
+        stats = self._stats[name]
+        if spec.max_inflight is not None and stats.inflight >= spec.max_inflight:
+            return False
+        if (
+            spec.reserved_bytes_budget is not None
+            and stats.reserved_bytes >= spec.reserved_bytes_budget
+        ):
+            return False
+        return True
+
+    def select(
+        self, queue: Sequence["Request"], policy: "SchedulerPolicy", now: float
+    ) -> int | None:
+        """Index into ``queue`` of the next request to try admitting.
+
+        One deficit-round-robin scan over the tenant ring: the first visited
+        tenant that is backlogged, under quota, and whose deficit (after at
+        most one ``quantum x weight`` replenishment) covers its head
+        request's cost wins; the head request *within* a tenant is whatever
+        the wrapped policy picks from that tenant's slice of the queue.
+        ``None`` means no tenant may admit right now (all backlogged tenants
+        are at quota).  A tenant whose backlog emptied has its deficit reset
+        — credit does not accumulate across idle periods.
+        """
+        by_tenant: dict[str, list[int]] = {}
+        for index, request in enumerate(queue):
+            by_tenant.setdefault(request.tenant, []).append(index)
+        for name in self._ring:
+            if name not in by_tenant:
+                self._stats[name].deficit_tokens = 0.0
+        if not by_tenant:
+            return None
+        for name in by_tenant:
+            if name not in self._specs:
+                # a request was submitted around the governor (tests, direct
+                # scheduler use); adopt the tenant so it can be scheduled
+                self.resolve(name)
+        ring = self._ring
+        size = len(ring)
+        start = self._current
+        start_visiting = self._visiting
+        # when the scan starts mid-burst the start tenant gets no arrival
+        # replenishment at offset 0; one extra offset lets the rotation come
+        # back around to it as a *fresh* visit, so a lone tenant that just
+        # exhausted its burst is replenished in this call instead of stalling
+        for offset in range(size + (1 if start_visiting else 0)):
+            position = (start + offset) % size
+            name = ring[position]
+            fresh_visit = offset > 0 or not start_visiting
+            indices = by_tenant.get(name)
+            if not indices:
+                continue
+            if not self._eligible(name):
+                continue  # self-limited: skip without replenishing or resetting
+            stats = self._stats[name]
+            subqueue = [queue[i] for i in indices]
+            head = indices[policy.select(subqueue, now)]
+            cost = self.request_cost(queue[head])
+            if fresh_visit and stats.deficit_tokens < cost:
+                stats.deficit_tokens += self.quantum_tokens * self._specs[name].weight
+            if stats.deficit_tokens >= cost:
+                self._current = position
+                self._visiting = True
+                return head
+            # cannot afford its head yet: keep the (replenished) deficit and
+            # give the turn to the next tenant; a large request saves up
+            # across rotations exactly like a large packet in classic DRR
+            self._current = (position + 1) % size
+            self._visiting = False
+        return None
+
+    # ------------------------------------------------------------------
+    # scheduler lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_admitted(self, request: "Request", reserved_bytes: int) -> None:
+        stats = self._stats[self.resolve(request.tenant).name]
+        stats.deficit_tokens = max(stats.deficit_tokens - self.request_cost(request), 0.0)
+        stats.inflight += 1
+        stats.reserved_bytes += reserved_bytes
+        stats.admitted += 1
+
+    def on_deferred(self, request: "Request") -> None:
+        """First time a request waits on the global memory budget."""
+        self._stats[self.resolve(request.tenant).name].deferred += 1
+
+    def on_rejected(self, request: "Request") -> None:
+        self._stats[self.resolve(request.tenant).name].rejected += 1
+
+    def on_failed(self, request: "Request") -> None:
+        """Session setup raised after admission bookkeeping never started."""
+        self._stats[self.resolve(request.tenant).name].failed += 1
+
+    def on_finished(self, inflight: "InFlightRequest") -> None:
+        stats = self._stats[self.resolve(inflight.request.tenant).name]
+        stats.inflight = max(stats.inflight - 1, 0)
+        stats.reserved_bytes = max(stats.reserved_bytes - inflight.estimated_bytes, 0)
+        stats.completed += 1
+        stats.tokens_served += inflight.num_generated
+        compute = inflight.prefill_seconds + sum(inflight.decode_seconds)
+        if compute > 0:
+            alpha = 0.2
+            stats.service_seconds_ema = (
+                compute
+                if stats.service_seconds_ema == 0.0
+                else (1 - alpha) * stats.service_seconds_ema + alpha * compute
+            )
+
+    def on_cancelled_queued(self, request: "Request") -> None:
+        self._stats[self.resolve(request.tenant).name].cancelled += 1
+
+    def on_cancelled_inflight(self, inflight: "InFlightRequest") -> None:
+        stats = self._stats[self.resolve(inflight.request.tenant).name]
+        stats.inflight = max(stats.inflight - 1, 0)
+        stats.reserved_bytes = max(stats.reserved_bytes - inflight.estimated_bytes, 0)
+        stats.cancelled += 1
+        stats.tokens_served += inflight.num_generated
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self, queued_by_tenant: dict[str, int] | None = None) -> dict[str, dict]:
+        """One observable row per tenant (the ``memory_report()`` payload).
+
+        ``queued_by_tenant`` supplies the live scheduler queue depths (the
+        governor does not watch the queue itself); omitted tenants report 0.
+        """
+        queued_by_tenant = queued_by_tenant or {}
+        rows = {}
+        for name in self._ring:
+            spec = self._specs[name]
+            stats = self._stats[name]
+            rows[name] = {
+                "weight": spec.weight,
+                "inflight": stats.inflight,
+                "queued": queued_by_tenant.get(name, 0),
+                "reserved_bytes": stats.reserved_bytes,
+                "admitted": stats.admitted,
+                "completed": stats.completed,
+                "cancelled": stats.cancelled,
+                "rejected": stats.rejected,
+                "failed": stats.failed,
+                "deferred": stats.deferred,
+                "throttled_429": stats.throttled,
+                "tokens_served": stats.tokens_served,
+            }
+        return rows
