@@ -13,6 +13,7 @@ retrieved), and aggregates
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,15 +41,46 @@ class MethodEvaluation:
     num_steps: int
     per_step_quality: list[float] = field(default_factory=list)
 
-    def modeled_tpot_seconds(self, cost_model: CostModel, context_length: int | None = None) -> float:
-        """Modelled decode latency per token at paper scale."""
+    def modeled_tpot_seconds(
+        self,
+        cost_model: CostModel,
+        context_length: int | None = None,
+        *,
+        empty_selection: str = "dense",
+    ) -> float:
+        """Modelled decode latency per token at paper scale.
+
+        Fractional per-head work is rounded *up*: a strategy whose mean
+        selection is 0.9 tokens per head still pays for one token, instead of
+        being flattened to zero work by an ``int()`` floor.
+
+        ``empty_selection`` says what a run that recorded no selection work at
+        all (no retrieved tokens *and* no resident window) means:
+
+        * ``"dense"`` — the method attends densely without reporting per-head
+          selections; its decode is modelled as full attention over
+          ``context_length`` (which must then be provided);
+        * ``"none"`` — the method legitimately attends nothing (an empty
+          selection), modelled as zero attended tokens.
+        """
+        if empty_selection not in ("dense", "none"):
+            raise ValueError(
+                f"empty_selection must be 'dense' or 'none', got {empty_selection!r}"
+            )
         shape = cost_model.shape
         selected = self.mean_selected_per_head + self.resident_tokens
-        if context_length is not None and self.mean_selected_per_head == 0 and self.resident_tokens == 0:
-            selected = context_length
+        if self.mean_selected_per_head == 0 and self.resident_tokens == 0:
+            if empty_selection == "dense":
+                if context_length is None:
+                    raise ValueError(
+                        "a run with no recorded selection work is modelled as dense "
+                        "attention; pass context_length (or empty_selection='none' "
+                        "for a method that truly attends nothing)"
+                    )
+                selected = context_length
         return cost_model.sparse_decode_seconds(
-            num_selected_tokens=int(selected),
-            num_distance_computations=int(self.mean_distance_computations),
+            num_selected_tokens=int(math.ceil(selected)),
+            num_distance_computations=int(math.ceil(self.mean_distance_computations)),
             num_heads_searched=shape.num_query_heads * shape.num_layers,
         )
 

@@ -15,14 +15,38 @@ def softmax_weights(scores: np.ndarray) -> np.ndarray:
     return exps / exps.sum()
 
 
+def _validate_positions(positions: np.ndarray, limit: int | None, label: str) -> np.ndarray:
+    """Reject negative (and, with ``limit``, out-of-range) token positions.
+
+    Negative indices would silently wrap through numpy fancy indexing and
+    credit the *wrong* token's probability mass to the selection — a quality
+    gate built on that sum would be inflated without any error surfacing.
+    """
+    positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+    if positions.size == 0:
+        return positions
+    low = int(positions.min())
+    if low < 0:
+        raise ValueError(f"{label} contains negative position {low}")
+    if limit is not None:
+        high = int(positions.max())
+        if high >= limit:
+            raise ValueError(
+                f"{label} contains position {high} beyond the context length {limit}"
+            )
+    return positions
+
+
 def recovery_ratio(scores: np.ndarray, attended: np.ndarray) -> float:
     """Fraction of the full-attention probability mass captured by ``attended``.
 
     This is the metric RetrievalAttention and the paper use to quantify how
-    well a selected token subset approximates full attention.
+    well a selected token subset approximates full attention.  ``attended``
+    must hold valid positions into ``scores`` — negative or out-of-range
+    entries raise instead of crediting another token's mass.
     """
     weights = softmax_weights(scores)
-    attended = np.asarray(attended, dtype=np.int64)
+    attended = _validate_positions(attended, weights.shape[0], "attended")
     if attended.size == 0:
         return 0.0
     attended = np.unique(attended)
@@ -31,8 +55,10 @@ def recovery_ratio(scores: np.ndarray, attended: np.ndarray) -> float:
 
 def needle_hit(evidence_positions: np.ndarray, attended: np.ndarray) -> bool:
     """True when every evidence position is in the attended set."""
-    evidence = set(int(p) for p in np.asarray(evidence_positions).reshape(-1))
-    attended_set = set(int(p) for p in np.asarray(attended).reshape(-1))
+    evidence_positions = _validate_positions(evidence_positions, None, "evidence_positions")
+    attended = _validate_positions(attended, None, "attended")
+    evidence = set(int(p) for p in evidence_positions)
+    attended_set = set(int(p) for p in attended)
     return evidence.issubset(attended_set)
 
 

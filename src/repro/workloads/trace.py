@@ -15,7 +15,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TraceRequest", "RequestTrace", "TraceSpec", "generate_trace"]
+__all__ = [
+    "TraceRequest",
+    "RequestTrace",
+    "TraceSpec",
+    "generate_trace",
+    "diurnal_rate",
+    "sample_arrival_times",
+    "heavy_tailed_lengths",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,15 @@ class TraceSpec:
     def __post_init__(self) -> None:
         if self.num_documents <= 0:
             raise ValueError("num_documents must be positive")
+        if self.document_repeats <= 0:
+            raise ValueError("document_repeats must be positive")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.document_popularity_skew < 0.0:
+            raise ValueError(
+                "document_popularity_skew must be non-negative "
+                "(negative values invert the Zipf popularity ranking)"
+            )
         if not 0.0 <= self.fresh_request_fraction <= 1.0:
             raise ValueError("fresh_request_fraction must be within [0, 1]")
 
@@ -125,3 +142,91 @@ def generate_trace(spec: TraceSpec | None = None) -> RequestTrace:
         prompt = documents[document_id] + "\nQuestion: " + question
         requests.append(TraceRequest(request_id=request_id, document_id=document_id, prompt=prompt))
     return RequestTrace(documents=documents, requests=requests)
+
+
+# ----------------------------------------------------------------------
+# arrival curves and length distributions (the workload engine's samplers)
+# ----------------------------------------------------------------------
+def diurnal_rate(
+    times: np.ndarray, base_rate: float, amplitude: float, period_seconds: float
+) -> np.ndarray:
+    """Instantaneous arrival rate (requests/second) along a diurnal curve.
+
+    A sinusoid around ``base_rate``: ``amplitude`` of 0 is flat traffic,
+    1.0 swings between 0 and twice the base rate (the day/night cycle of a
+    serving trace, compressed to ``period_seconds``).
+    """
+    if base_rate <= 0:
+        raise ValueError("base_rate must be positive")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError("amplitude must be within [0, 1]")
+    if period_seconds <= 0:
+        raise ValueError("period_seconds must be positive")
+    times = np.asarray(times, dtype=np.float64)
+    return base_rate * (1.0 + amplitude * np.sin(2.0 * np.pi * times / period_seconds))
+
+
+def sample_arrival_times(
+    rng: np.random.Generator,
+    duration_seconds: float,
+    base_rate: float,
+    amplitude: float = 0.0,
+    period_seconds: float = 60.0,
+    burstiness: float = 0.0,
+) -> np.ndarray:
+    """Arrival times of a non-homogeneous Poisson process with optional bursts.
+
+    A Cox (doubly stochastic Poisson) process sampled on small windows: each
+    window's rate is the diurnal envelope times a unit-mean Gamma multiplier
+    with variance ``burstiness``, so traffic arrives in clumps rather than
+    evenly — heavier queueing at the same mean rate.  ``burstiness`` of 0 is
+    a plain non-homogeneous Poisson process.
+    """
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    if burstiness < 0:
+        raise ValueError("burstiness must be non-negative")
+    window = min(period_seconds / 16.0, duration_seconds)
+    num_windows = max(int(np.ceil(duration_seconds / window)), 1)
+    edges = np.linspace(0.0, duration_seconds, num_windows + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    widths = np.diff(edges)
+    rates = diurnal_rate(centers, base_rate, amplitude, period_seconds)
+    if burstiness > 0:
+        shape = 1.0 / burstiness
+        rates = rates * rng.gamma(shape, 1.0 / shape, size=num_windows)
+    counts = rng.poisson(rates * widths)
+    times = [
+        start + rng.random(int(count)) * width
+        for start, width, count in zip(edges[:-1], widths, counts)
+        if count
+    ]
+    if not times:
+        return np.empty(0, dtype=np.float64)
+    return np.sort(np.concatenate(times))
+
+
+def heavy_tailed_lengths(
+    rng: np.random.Generator,
+    count: int,
+    median: int,
+    sigma: float = 0.8,
+    maximum: int | None = None,
+) -> np.ndarray:
+    """Heavy-tailed (lognormal) integer lengths with the given median.
+
+    Serving traces show context lengths spanning orders of magnitude; a
+    lognormal with ``sigma`` around 0.8–1.2 reproduces that spread.  Values
+    are clipped to ``[1, maximum]``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if median <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    lengths = rng.lognormal(mean=np.log(median), sigma=sigma, size=count)
+    lengths = np.maximum(lengths.astype(np.int64), 1)
+    if maximum is not None:
+        lengths = np.minimum(lengths, int(maximum))
+    return lengths

@@ -33,6 +33,24 @@ class TestScoring:
         scores = np.asarray([1.0, 1.0, 1.0, 1.0])
         assert recovery_ratio(scores, np.asarray([0, 0, 0])) == pytest.approx(0.25)
 
+    def test_recovery_ratio_rejects_negative_positions(self):
+        # regression: numpy fancy indexing wraps negative positions, silently
+        # crediting the wrong token's probability mass to the selection
+        scores = np.asarray([0.0, 0.0, 0.0, 100.0])
+        with pytest.raises(ValueError, match="negative position"):
+            recovery_ratio(scores, np.asarray([-1, 0]))
+
+    def test_recovery_ratio_rejects_out_of_range_positions(self):
+        scores = np.asarray([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="beyond the context length"):
+            recovery_ratio(scores, np.asarray([0, 3]))
+
+    def test_needle_hit_rejects_negative_positions(self):
+        with pytest.raises(ValueError, match="evidence_positions"):
+            needle_hit(np.asarray([-2]), np.asarray([1, 2]))
+        with pytest.raises(ValueError, match="attended"):
+            needle_hit(np.asarray([1]), np.asarray([-3, 1]))
+
     def test_needle_hit(self):
         assert needle_hit(np.asarray([3, 5]), np.asarray([1, 3, 5, 7]))
         assert not needle_hit(np.asarray([3, 5]), np.asarray([3]))
@@ -137,6 +155,47 @@ class TestEvaluation:
         assert tpot > 0
         assert result.gpu_memory_bytes(cost) > cost.shape.weight_bytes
         assert isinstance(result.meets_slo(cost, SLO(), 200_000, is_full_attention=True), bool)
+
+    def test_modeled_tpot_rounds_fractional_work_up(self):
+        # regression: int() floored a 0.9-token mean selection to zero work,
+        # which then triggered the dense fallback and charged full attention
+        from repro.simulator.cost_model import CostModel
+        from repro.workloads.evaluation import MethodEvaluation
+
+        cost = CostModel()
+        fractional = MethodEvaluation(
+            method="m", workload="w", quality=0.0,
+            mean_selected_per_head=0.9, mean_distance_computations=0.0,
+            resident_tokens=0, gpu_tokens=0, num_steps=1,
+        )
+        one_token = MethodEvaluation(
+            method="m", workload="w", quality=0.0,
+            mean_selected_per_head=1.0, mean_distance_computations=0.0,
+            resident_tokens=0, gpu_tokens=0, num_steps=1,
+        )
+        tpot = fractional.modeled_tpot_seconds(cost, context_length=200_000)
+        assert tpot == pytest.approx(one_token.modeled_tpot_seconds(cost, context_length=200_000))
+        assert tpot < cost.full_decode_seconds(200_000)
+
+    def test_modeled_tpot_empty_selection_modes(self):
+        # regression: a zero-work run silently substituted dense attention even
+        # for strategies that legitimately attend nothing
+        from repro.simulator.cost_model import CostModel
+        from repro.workloads.evaluation import MethodEvaluation
+
+        cost = CostModel()
+        empty = MethodEvaluation(
+            method="m", workload="w", quality=0.0,
+            mean_selected_per_head=0.0, mean_distance_computations=0.0,
+            resident_tokens=0, gpu_tokens=0, num_steps=1,
+        )
+        with pytest.raises(ValueError, match="dense"):
+            empty.modeled_tpot_seconds(cost)  # dense fallback needs a length
+        dense = empty.modeled_tpot_seconds(cost, context_length=100_000)
+        none = empty.modeled_tpot_seconds(cost, empty_selection="none")
+        assert dense > none
+        with pytest.raises(ValueError, match="empty_selection"):
+            empty.modeled_tpot_seconds(cost, empty_selection="bogus")
 
 
 class TestAnalysis:
